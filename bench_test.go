@@ -1,0 +1,323 @@
+package dbs3_test
+
+// The benchmark harness: one testing.B benchmark per figure of the paper's
+// evaluation (regenerated on the virtual-time simulator; key scalars are
+// attached as custom metrics), plus real-engine benchmarks and the ablation
+// benches DESIGN.md calls out. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// and print the full figure tables with cmd/dbs3-bench.
+
+import (
+	"testing"
+
+	"dbs3/internal/baseline"
+	"dbs3/internal/core"
+	"dbs3/internal/experiments"
+	"dbs3/internal/lera"
+	"dbs3/internal/sim"
+	"dbs3/internal/workload"
+	"dbs3/internal/zipf"
+)
+
+// --- Figure benches -------------------------------------------------------
+
+func BenchmarkFig08RemoteVsLocal(b *testing.B) {
+	var f *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f = experiments.Fig8()
+	}
+	remote, _ := f.Find("Remote execution").Y(30)
+	local, _ := f.Find("Local execution").Y(30)
+	b.ReportMetric((remote-local)/remote*100, "remote_overhead_%")
+}
+
+func BenchmarkFig09RemoteLocalDelta(b *testing.B) {
+	var f *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f = experiments.Fig9()
+	}
+	d5, _ := f.Series[0].Y(5)
+	d30, _ := f.Series[0].Y(30)
+	b.ReportMetric(d5, "delta_ms_at_5")
+	b.ReportMetric(d30, "delta_ms_at_30")
+}
+
+func BenchmarkFig12AssocJoinSkew(b *testing.B) {
+	var f *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f = experiments.Fig12()
+	}
+	m := f.Find("Measured execution time (Random)")
+	flat, _ := m.Y(0)
+	skew, _ := m.Y(1)
+	b.ReportMetric((skew/flat-1)*100, "skew_cost_%")
+}
+
+func BenchmarkFig13IdealJoinSkew(b *testing.B) {
+	var f *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f = experiments.Fig13()
+	}
+	random, _ := f.Find("Random consumption strategy").Y(1)
+	lpt, _ := f.Find("LPT consumption strategy").Y(1)
+	b.ReportMetric(random, "random_s_at_zipf1")
+	b.ReportMetric(lpt, "lpt_s_at_zipf1")
+}
+
+func BenchmarkFig14AssocJoinSpeedup(b *testing.B) {
+	var f *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f = experiments.Fig14()
+	}
+	un, _ := f.Find("Unskewed data").Y(70)
+	sk, _ := f.Find("Skewed data (Zipf = 1)").Y(70)
+	b.ReportMetric(un, "speedup_at_70")
+	b.ReportMetric(sk, "skewed_speedup_at_70")
+}
+
+func BenchmarkFig15IdealJoinSpeedup(b *testing.B) {
+	var f *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f = experiments.Fig15()
+	}
+	for _, s := range []struct{ name, metric string }{
+		{"Zipf = 0.4", "ceiling_zipf04"},
+		{"Zipf = 0.6", "ceiling_zipf06"},
+		{"Zipf = 1", "ceiling_zipf1"},
+	} {
+		peak := 0.0
+		for _, p := range f.Find(s.name).Points {
+			if p.Y > peak {
+				peak = p.Y
+			}
+		}
+		b.ReportMetric(peak, s.metric)
+	}
+}
+
+func BenchmarkFig16PartitioningOverhead(b *testing.B) {
+	var f *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f = experiments.Fig16()
+	}
+	slope := func(name string) float64 {
+		s := f.Find(name)
+		y1, _ := s.Y(100)
+		y2, _ := s.Y(1500)
+		return (y2 - y1) / 1400 * 1000 // ms per degree
+	}
+	b.ReportMetric(slope("Overhead for IdealJoin"), "ideal_ms_per_degree")
+	b.ReportMetric(slope("Overhead for AssocJoin"), "assoc_ms_per_degree")
+}
+
+func BenchmarkFig17IndexPartitioning(b *testing.B) {
+	var f *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f = experiments.Fig17()
+	}
+	argmin := func(name string) float64 {
+		s := f.Find(name)
+		bestX, bestY := 0.0, 1e18
+		for _, p := range s.Points {
+			if p.Y < bestY {
+				bestX, bestY = p.X, p.Y
+			}
+		}
+		return bestX
+	}
+	b.ReportMetric(argmin("AssocJoin execution time"), "assoc_optimal_d")
+	b.ReportMetric(argmin("IdealJoin execution time"), "ideal_optimal_d")
+}
+
+func BenchmarkFig18SkewOverheadVsPartitioning(b *testing.B) {
+	var f *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f = experiments.Fig18()
+	}
+	v20, _ := f.Find("Ideal Join (nested loop)").Y(20)
+	v1500, _ := f.Find("Ideal Join (nested loop)").Y(1500)
+	b.ReportMetric(v20, "v_at_d20")
+	b.ReportMetric(v1500, "v_at_d1500")
+}
+
+func BenchmarkFig19SavedTime(b *testing.B) {
+	var f *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f = experiments.Fig19()
+	}
+	s := f.Find("Saved time, Ideal Join (temp. index)")
+	final := s.Points[len(s.Points)-1].Y
+	t0, _ := f.Find("T0 (unskewed execution time)").Y(1500)
+	b.ReportMetric(final, "saved_s_at_d1500")
+	b.ReportMetric(t0, "t0_s")
+}
+
+// --- Real-engine benches --------------------------------------------------
+
+func engineJoinBench(b *testing.B, assoc bool, algo lera.JoinAlgo, opts core.Options, theta float64) {
+	b.Helper()
+	db, err := workload.NewJoinDB(20_000, 2_000, 40, theta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var plan *lera.Plan
+	if assoc {
+		plan, err = db.AssocJoinPlan(algo)
+	} else {
+		plan, err = db.IdealJoinPlan(algo)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	rels := db.Relations()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Execute(plan, rels, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Outputs["Res"].Cardinality() != db.ExpectedJoinCount() {
+			b.Fatal("wrong result")
+		}
+	}
+}
+
+func BenchmarkEngineIdealJoinHash(b *testing.B) {
+	engineJoinBench(b, false, lera.HashJoin, core.Options{Threads: 4}, 0)
+}
+
+func BenchmarkEngineIdealJoinTempIndex(b *testing.B) {
+	engineJoinBench(b, false, lera.TempIndex, core.Options{Threads: 4}, 0)
+}
+
+func BenchmarkEngineIdealJoinNestedLoop(b *testing.B) {
+	engineJoinBench(b, false, lera.NestedLoop, core.Options{Threads: 4}, 0)
+}
+
+func BenchmarkEngineAssocJoinHash(b *testing.B) {
+	engineJoinBench(b, true, lera.HashJoin, core.Options{Threads: 4}, 0)
+}
+
+func BenchmarkEngineSkewedRandom(b *testing.B) {
+	engineJoinBench(b, false, lera.HashJoin, core.Options{Threads: 4, Strategy: core.StrategyRandom}, 1)
+}
+
+func BenchmarkEngineSkewedLPT(b *testing.B) {
+	engineJoinBench(b, false, lera.HashJoin, core.Options{Threads: 4, Strategy: core.StrategyLPT}, 1)
+}
+
+// --- Ablation benches (DESIGN.md §6) ---------------------------------------
+
+// Internal activation cache: batch size 1 (per-activation locking) vs the
+// default 16 vs 64 on a pipelined join.
+func BenchmarkAblationCacheSize1(b *testing.B) {
+	engineJoinBench(b, true, lera.HashJoin, core.Options{Threads: 4, CacheSize: 1}, 0)
+}
+
+func BenchmarkAblationCacheSize16(b *testing.B) {
+	engineJoinBench(b, true, lera.HashJoin, core.Options{Threads: 4, CacheSize: 16}, 0)
+}
+
+func BenchmarkAblationCacheSize64(b *testing.B) {
+	engineJoinBench(b, true, lera.HashJoin, core.Options{Threads: 4, CacheSize: 64}, 0)
+}
+
+// Static thread-per-instance baseline vs the DBS3 pool, real execution.
+func BenchmarkAblationThreadPerInstance(b *testing.B) {
+	db, err := workload.NewJoinDB(20_000, 2_000, 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := baseline.ThreadPerInstanceJoin(db.A, db.B, "k", "k")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cardinality() != db.ExpectedJoinCount() {
+			b.Fatal("wrong result")
+		}
+	}
+}
+
+// Dynamic page-based model (XPRS style) on the same join.
+func BenchmarkAblationDynamicPages(b *testing.B) {
+	db, err := workload.NewJoinDB(20_000, 2_000, 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buildRel, probeRel := db.A.Union(), db.B.Union()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := baseline.DynamicJoin{Threads: 4}.Run(buildRel, probeRel, "k", "k")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cardinality() != db.ExpectedJoinCount() {
+			b.Fatal("wrong result")
+		}
+	}
+}
+
+// Virtual-time ablation: DBS3 pool vs the static model under skew, as a
+// makespan ratio (the scheduling win independent of host cores).
+func BenchmarkAblationPoolVsStaticSim(b *testing.B) {
+	sizes := zipf.Sizes(100_000, 200, 0.8)
+	costs := make([]float64, len(sizes))
+	for i, s := range sizes {
+		costs[i] = float64(s)
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		static := baseline.StaticMakespan(costs, 20)
+		pool := sim.Triggered(sim.TriggeredSpec{Costs: costs, Threads: 20, Strategy: sim.LPT}, sim.Config{Processors: 20})
+		ratio = static / pool.Makespan
+	}
+	b.ReportMetric(ratio, "static/pool_makespan")
+}
+
+// Main-queue affinity: the engine's secondary-pick counter under balanced vs
+// skewed load, surfaced as a metric.
+func BenchmarkAblationQueueAffinity(b *testing.B) {
+	db, err := workload.NewJoinDB(20_000, 2_000, 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := db.AssocJoinPlan(lera.HashJoin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rels := db.Relations()
+	var picks int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Execute(plan, rels, core.Options{Threads: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		picks = res.Stats[1].SecondaryPicks.Load()
+	}
+	b.ReportMetric(float64(picks), "secondary_picks")
+}
+
+// Extension bench (§6 future work): the grain of parallelism lifts the
+// skewed triggered join's ceiling.
+func BenchmarkExtGrainOfParallelism(b *testing.B) {
+	var f *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f = experiments.ExtGrain()
+	}
+	peak := func(name string) float64 {
+		best := 0.0
+		for _, p := range f.Find(name).Points {
+			if p.Y > best {
+				best = p.Y
+			}
+		}
+		return best
+	}
+	b.ReportMetric(peak("Whole-fragment triggers (paper)"), "ceiling_whole")
+	b.ReportMetric(peak("Grain = 2 probe tuples"), "ceiling_grain2")
+}

@@ -1,0 +1,35 @@
+// Command dbs3-bench regenerates the paper's figures on the virtual-time
+// simulator and prints them as text tables (one row per X value, one column
+// per series).
+//
+// Usage:
+//
+//	dbs3-bench            # all figures
+//	dbs3-bench -fig 13    # one figure (8, 9, 12..19)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbs3/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 8, 9, 12-19, or all")
+	flag.Parse()
+
+	if *fig == "all" {
+		for _, f := range experiments.All() {
+			fmt.Println(f.Table())
+		}
+		return
+	}
+	f, err := experiments.ByID(*fig)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(f.Table())
+}

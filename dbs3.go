@@ -1,0 +1,312 @@
+// Package dbs3 is a Go reproduction of DBS3's adaptive parallel query
+// execution model (Bouganim, Dageville, Valduriez: "Adaptive Parallel Query
+// Execution in DBS3", EDBT 1996 / INRIA RR-2749).
+//
+// The library combines static hash partitioning of relations with dynamic
+// allocation of worker threads to operations — the degree of parallelism is
+// decoupled from the degree of partitioning — and balances load by letting
+// every thread of an operation's pool consume activations from any of the
+// operation's instance queues, preferring its own "main" queues and choosing
+// among the others with a Random or LPT strategy.
+//
+// This package is the public facade: an in-memory database of partitioned
+// relations, an ESQL-subset query interface, and execution knobs (threads,
+// strategy, join algorithm). The building blocks live under internal/: the
+// Lera-par plan layer, the parallel engine, the storage substrate, the
+// analytical model and the virtual-time simulator that regenerates the
+// paper's figures (see DESIGN.md and EXPERIMENTS.md).
+//
+// Quickstart:
+//
+//	db := dbs3.New()
+//	db.CreateWisconsin("wisc", 10000, 16, "unique2", 42)
+//	rows, err := db.Query("SELECT unique2 FROM wisc WHERE unique1 < 100", nil)
+package dbs3
+
+import (
+	"fmt"
+
+	"dbs3/internal/core"
+	"dbs3/internal/esql"
+	"dbs3/internal/lera"
+	"dbs3/internal/partition"
+	"dbs3/internal/relation"
+	"dbs3/internal/workload"
+)
+
+// Database is an in-memory database of statically partitioned relations.
+type Database struct {
+	rels     core.DB
+	resolver lera.MapResolver
+}
+
+// New creates an empty database.
+func New() *Database {
+	return &Database{rels: make(core.DB), resolver: make(lera.MapResolver)}
+}
+
+// Relations returns the registered relation names (unordered).
+func (db *Database) Relations() []string {
+	out := make([]string, 0, len(db.rels))
+	for name := range db.rels {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Cardinality returns a relation's tuple count.
+func (db *Database) Cardinality(name string) (int, error) {
+	p, ok := db.rels[name]
+	if !ok {
+		return 0, fmt.Errorf("dbs3: no relation %q", name)
+	}
+	return p.Cardinality(), nil
+}
+
+// Degree returns a relation's degree of partitioning.
+func (db *Database) Degree(name string) (int, error) {
+	p, ok := db.rels[name]
+	if !ok {
+		return 0, fmt.Errorf("dbs3: no relation %q", name)
+	}
+	return p.Degree(), nil
+}
+
+// FragmentSizes returns a relation's per-fragment cardinalities — the
+// distribution the skew experiments manipulate.
+func (db *Database) FragmentSizes(name string) ([]int, error) {
+	p, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("dbs3: no relation %q", name)
+	}
+	return p.FragmentSizes(), nil
+}
+
+func (db *Database) register(p *partition.Partitioned, part partition.Func) error {
+	if _, dup := db.rels[p.Name]; dup {
+		return fmt.Errorf("dbs3: relation %q already exists", p.Name)
+	}
+	db.rels[p.Name] = p
+	db.resolver[p.Name] = lera.RelInfo{
+		Schema:    p.Schema,
+		Degree:    p.Degree(),
+		FragSizes: p.FragmentSizes(),
+		Part:      part,
+	}
+	return nil
+}
+
+// CreateWisconsin generates a Wisconsin benchmark relation [Bitton83] of the
+// given cardinality, hash-partitioned on key into degree fragments.
+func (db *Database) CreateWisconsin(name string, cardinality, degree int, key string, seed int64) error {
+	r := relation.Wisconsin(name, cardinality, seed)
+	h, err := partition.NewHash(r.Schema, []string{key}, degree)
+	if err != nil {
+		return err
+	}
+	p, err := partition.Partition(r, h, 1)
+	if err != nil {
+		return err
+	}
+	return db.register(p, h)
+}
+
+// CreateJoinPair generates the paper's experimental database (§5.4): three
+// relations named <prefix>A, <prefix>B and <prefix>Br with schema (k INT,
+// id INT, pad STRING). A holds aCard tuples with fragment cardinalities
+// following Zipf(theta); B holds bCard tuples, uniform, co-partitioned with
+// A on k; Br holds B's tuples placed on id instead, so joining it with A
+// forces a run-time redistribution (the AssocJoin shape). bCard must be a
+// multiple of degree.
+func (db *Database) CreateJoinPair(prefix string, aCard, bCard, degree int, theta float64) error {
+	jdb, err := workload.NewJoinDB(aCard, bCard, degree, theta)
+	if err != nil {
+		return err
+	}
+	res := jdb.Resolver()
+	for _, item := range []struct {
+		suffix string
+		p      *partition.Partitioned
+		orig   string
+	}{
+		{"A", jdb.A, "A"},
+		{"B", jdb.B, "B"},
+		{"Br", jdb.Br, "Br"},
+	} {
+		ri, err := res.RelInfo(item.orig)
+		if err != nil {
+			return err
+		}
+		p := item.p
+		p.Name = prefix + item.suffix
+		if err := db.register(p, ri.Part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Options tune one query execution. The zero value lets the scheduler pick
+// everything (step 1 of Figure 5 chooses the thread count from the query's
+// complexity).
+type Options struct {
+	// Threads fixes the query's total degree of parallelism (0 = auto).
+	Threads int
+	// Strategy is the queue consumption strategy: "auto" (default),
+	// "random" or "lpt".
+	Strategy string
+	// JoinAlgo selects the join implementation: "hash" (default),
+	// "nested-loop" or "temp-index".
+	JoinAlgo string
+	// Grain splits each triggered instance's work into partial triggers of
+	// at most this many tuples (0 = one trigger per fragment, the paper's
+	// model). Finer grains defeat skew on triggered operations — the
+	// paper's §6 future work.
+	Grain int
+	// Utilization in [0, 1) tells the scheduler how busy the processors
+	// already are; auto-chosen parallelism shrinks accordingly for
+	// multi-user throughput [Rahm93].
+	Utilization float64
+}
+
+func (o *Options) strategy() (core.StrategyKind, error) {
+	if o == nil {
+		return core.StrategyAuto, nil
+	}
+	switch o.Strategy {
+	case "", "auto":
+		return core.StrategyAuto, nil
+	case "random":
+		return core.StrategyRandom, nil
+	case "lpt":
+		return core.StrategyLPT, nil
+	default:
+		return 0, fmt.Errorf("dbs3: unknown strategy %q (auto, random, lpt)", o.Strategy)
+	}
+}
+
+func (o *Options) joinAlgo() (lera.JoinAlgo, error) {
+	if o == nil {
+		return lera.HashJoin, nil
+	}
+	switch o.JoinAlgo {
+	case "", "hash":
+		return lera.HashJoin, nil
+	case "nested-loop":
+		return lera.NestedLoop, nil
+	case "temp-index":
+		return lera.TempIndex, nil
+	default:
+		return 0, fmt.Errorf("dbs3: unknown join algorithm %q (hash, nested-loop, temp-index)", o.JoinAlgo)
+	}
+}
+
+// OperatorStats summarizes one operator's execution.
+type OperatorStats struct {
+	// Name is the plan node name (filter, join, store, ...).
+	Name string
+	// Threads is the pool size the scheduler allocated.
+	Threads int
+	// Strategy is the consumption strategy used.
+	Strategy string
+	// Instances is the operator's degree (one per fragment).
+	Instances int
+	// Activations, Emitted and SecondaryPicks count processed units of
+	// work, produced tuples, and consumptions stolen from non-main queues.
+	Activations, Emitted, SecondaryPicks int64
+}
+
+// Rows is a query result: plain Go values plus execution statistics.
+type Rows struct {
+	// Columns names the result columns.
+	Columns []string
+	// Data holds one row per slice; values are int64 or string.
+	Data [][]any
+	// Threads is the total degree of parallelism used.
+	Threads int
+	// Operators reports per-operator scheduling statistics.
+	Operators []OperatorStats
+}
+
+// Query compiles and executes one ESQL statement. The supported subset:
+//
+//	SELECT */cols/agg FROM rel
+//	  [JOIN rel2 ON rel.col = rel2.col]
+//	  [WHERE predicate]
+//	  [GROUP BY cols]
+func (db *Database) Query(sql string, opt *Options) (*Rows, error) {
+	strat, err := opt.strategy()
+	if err != nil {
+		return nil, err
+	}
+	algo, err := opt.joinAlgo()
+	if err != nil {
+		return nil, err
+	}
+	c := &esql.Compiler{Resolver: db.resolver, JoinAlgo: algo}
+	plan, _, err := c.Compile(sql)
+	if err != nil {
+		return nil, err
+	}
+	var threads, grain int
+	var utilization float64
+	if opt != nil {
+		threads, grain, utilization = opt.Threads, opt.Grain, opt.Utilization
+	}
+	res, err := core.Execute(plan, db.rels, core.Options{
+		Threads:      threads,
+		Strategy:     strat,
+		TriggerGrain: grain,
+		Utilization:  utilization,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := res.Relation(esql.OutputName)
+	if err != nil {
+		return nil, err
+	}
+	rows := &Rows{Threads: res.Alloc.Total}
+	for i := 0; i < out.Schema.Len(); i++ {
+		rows.Columns = append(rows.Columns, out.Schema.Column(i).Name)
+	}
+	for _, t := range out.Tuples {
+		row := make([]any, len(t))
+		for i, v := range t {
+			if v.Kind() == relation.TInt {
+				row[i] = v.AsInt()
+			} else {
+				row[i] = v.AsString()
+			}
+		}
+		rows.Data = append(rows.Data, row)
+	}
+	for _, id := range plan.Order {
+		st := res.Stats[id]
+		rows.Operators = append(rows.Operators, OperatorStats{
+			Name:           plan.Graph.Nodes[id].Name,
+			Threads:        res.Alloc.Node[id],
+			Strategy:       res.Alloc.Strategy[id].String(),
+			Instances:      plan.Nodes[id].Degree,
+			Activations:    st.Activations.Load(),
+			Emitted:        st.Emitted.Load(),
+			SecondaryPicks: st.SecondaryPicks.Load(),
+		})
+	}
+	return rows, nil
+}
+
+// Explain compiles a statement and returns its parallel plan in Graphviz DOT
+// form (the Lera-par "simple view" of Figure 1).
+func (db *Database) Explain(sql string, opt *Options) (string, error) {
+	algo, err := opt.joinAlgo()
+	if err != nil {
+		return "", err
+	}
+	c := &esql.Compiler{Resolver: db.resolver, JoinAlgo: algo}
+	_, g, err := c.Compile(sql)
+	if err != nil {
+		return "", err
+	}
+	return g.Dot(), nil
+}

@@ -1,0 +1,111 @@
+package dbs3_test
+
+// Cross-module integration tests: the storage substrate feeding the parallel
+// engine (generate -> partition -> store on the disk array -> load through
+// the buffer pool -> execute), mirroring how DBS3 warms relations into
+// memory before the measured runs.
+
+import (
+	"testing"
+
+	"dbs3/internal/core"
+	"dbs3/internal/lera"
+	"dbs3/internal/partition"
+	"dbs3/internal/relation"
+	"dbs3/internal/storage"
+	"dbs3/internal/workload"
+)
+
+func TestStorageToEngineRoundTrip(t *testing.T) {
+	// Generate the paper's join pair and persist it on a 4-disk array.
+	jdb, err := workload.NewJoinDB(2000, 200, 20, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := storage.NewCatalog(4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*partition.Partitioned{jdb.A, jdb.B, jdb.Br} {
+		if _, err := cat.Store(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Load back through the buffer pool (the "cached in main memory" warm
+	// phase) and execute the join on the loaded copies.
+	db := make(core.DB)
+	for _, name := range []string{"A", "B", "Br"} {
+		p, err := cat.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db[name] = p
+	}
+	plan, err := jdb.IdealJoinPlan(lera.HashJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Execute(plan, db, core.Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jdb.VerifyJoinResult(res.Outputs["Res"]); err != nil {
+		t.Error(err)
+	}
+
+	// The disk array must have been written and read.
+	var reads, writes int
+	for i := 0; i < cat.Array().Len(); i++ {
+		r, w := cat.Array().Disk(i).Stats()
+		reads += r
+		writes += w
+	}
+	if writes == 0 || reads == 0 {
+		t.Errorf("disk stats: %d reads, %d writes; expected real I/O", reads, writes)
+	}
+	// Re-loading hits the warm buffer pool.
+	h0, m0 := cat.Pool().Stats()
+	if _, err := cat.Load("A"); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := cat.Pool().Stats()
+	if m1 != m0 {
+		t.Errorf("warm reload missed the buffer pool (%d new misses)", m1-m0)
+	}
+	if h1 <= h0 {
+		t.Error("warm reload produced no buffer hits")
+	}
+}
+
+func TestStorageSmallBufferStillCorrect(t *testing.T) {
+	// A buffer pool far smaller than the relation forces evictions; reads
+	// must still be correct.
+	r := relation.Wisconsin("W", 3000, 5)
+	h, err := partition.NewHash(r.Schema, []string{"unique2"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Partition(r, h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := storage.NewCatalog(2, 3) // 3 pages ~ 24 KB for a ~650 KB relation
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Store(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cat.Load("W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Union().EqualMultiset(r) {
+		t.Error("tiny buffer corrupted the relation")
+	}
+	_, misses := cat.Pool().Stats()
+	if misses == 0 {
+		t.Error("expected buffer misses with a 3-page pool")
+	}
+}

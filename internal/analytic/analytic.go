@@ -1,0 +1,111 @@
+// Package analytic implements the paper's performance analysis (§4.1):
+// the worst-case overhead bound of equations (1)-(3), the maximum useful
+// degree of parallelism nmax of §5.5, and the Zipf-derived skew factors that
+// parameterize them. Experiments plot these curves next to the simulated
+// measurements exactly as the paper plots Tworst next to measured times.
+package analytic
+
+import (
+	"math"
+
+	"dbs3/internal/zipf"
+)
+
+// Tideal is the ideal execution time of an operation with a activations of
+// mean processing time p on n threads: all threads finish simultaneously
+// (equation 1's reference point).
+func Tideal(a int, p float64, n int) float64 {
+	if n <= 0 || a < 0 {
+		panic("analytic: Tideal needs n > 0 and a >= 0")
+	}
+	return float64(a) * p / float64(n)
+}
+
+// VBound is the worst-case overhead v of equation (3):
+//
+//	v <= (Pmax/P) * (n-1) / a
+//
+// where Pmax/P is the skew factor, n the number of threads and a the number
+// of activations.
+func VBound(skewFactor float64, n, a int) float64 {
+	if a <= 0 {
+		panic("analytic: VBound needs a > 0")
+	}
+	return skewFactor * float64(n-1) / float64(a)
+}
+
+// Tworst is the worst-case execution time of equation (2): all activations
+// but the most expensive are perfectly balanced, then one thread processes
+// the last (most expensive) activation alone:
+//
+//	Tworst <= (a*P - Pmax)/n + Pmax = (1 + v) * Tideal
+func Tworst(a int, p float64, n int, pmax float64) float64 {
+	if n <= 0 {
+		panic("analytic: Tworst needs n > 0")
+	}
+	return (float64(a)*p-pmax)/float64(n) + pmax
+}
+
+// Nmax is the maximum useful degree of parallelism of a triggered operation
+// (§5.5): when Pmax > a*P/n the response time equals Pmax regardless of n,
+// so there is no gain beyond nmax = a*P/Pmax.
+func Nmax(a int, p, pmax float64) float64 {
+	if pmax <= 0 {
+		panic("analytic: Nmax needs pmax > 0")
+	}
+	return float64(a) * p / pmax
+}
+
+// ZipfSkewFactor is Pmax/P for a fragments whose cardinalities follow
+// Zipf(theta): a * p1. The paper's anchor: ZipfSkewFactor(200, 1) = 34.
+func ZipfSkewFactor(a int, theta float64) float64 {
+	return zipf.SkewRatio(a, theta)
+}
+
+// NmaxZipf is nmax for Zipf-skewed fragments when the per-activation cost is
+// proportional to fragment cardinality: a / skewFactor, which reduces to the
+// generalized harmonic number H_{a,theta}.
+func NmaxZipf(a int, theta float64) float64 {
+	return float64(a) / ZipfSkewFactor(a, theta)
+}
+
+// SpeedupBound is the response-time speed-up ceiling of a triggered
+// operation with n threads: limited both by n itself (and the processor
+// count p) and by the longest activation (nmax).
+func SpeedupBound(n, processors int, nmax float64) float64 {
+	s := math.Min(float64(n), float64(processors))
+	return math.Min(s, nmax)
+}
+
+// TriggeredTimeLPT predicts the response time of a triggered operation under
+// the LPT strategy for per-activation costs sorted any way: the classic
+// Graham bound tightened by the "longest activation floor" the paper
+// observes (the inflection past Zipf 0.8 in Figure 13):
+//
+//	T >= max(sum/n, Pmax)
+//
+// LPT stays within (4/3 - 1/(3n)) of optimum [Graham69]; on the paper's
+// fragment-size distributions it is near the floor, so the floor itself is
+// the reference curve.
+func TriggeredTimeLPT(costs []float64, n int) float64 {
+	if n <= 0 {
+		panic("analytic: TriggeredTimeLPT needs n > 0")
+	}
+	var sum, pmax float64
+	for _, c := range costs {
+		sum += c
+		if c > pmax {
+			pmax = c
+		}
+	}
+	return math.Max(sum/float64(n), pmax)
+}
+
+// VFromTimes computes the measured overhead v = T/T0 - 1 used by Figures 18
+// and 19 (v0.6 = T0.6/T0 - 1).
+func VFromTimes(t, t0 float64) float64 {
+	if t0 <= 0 {
+		panic("analytic: VFromTimes needs t0 > 0")
+	}
+	return t/t0 - 1
+}

@@ -1,0 +1,515 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dbs3/internal/lera"
+	"dbs3/internal/operator"
+	"dbs3/internal/partition"
+	"dbs3/internal/relation"
+)
+
+// DB maps relation names to their in-memory partitioned form. The engine
+// reads base relations from it and adds store outputs to a copy as chains
+// complete (materialized results feed later chains).
+type DB map[string]*partition.Partitioned
+
+// Options configure one execution.
+type Options struct {
+	// Threads is the query's total degree of parallelism; 0 = scheduler
+	// step 1 chooses from complexity.
+	Threads int
+	// Processors caps auto-chosen parallelism; defaults to GOMAXPROCS.
+	Processors int
+	// Strategy overrides the per-operation consumption strategy;
+	// StrategyAuto (default) keeps the scheduler's choice.
+	Strategy StrategyKind
+	// CacheSize is the internal activation cache (batch) size; default 16.
+	CacheSize int
+	// QueueCap is each activation queue's capacity; default 256.
+	QueueCap int
+	// Seed makes the Random strategy deterministic; default 1.
+	Seed int64
+	// TriggerGrain splits each triggered instance's operand into partial
+	// triggers of at most this many tuples (0 = one trigger per instance,
+	// the paper's model). This is the paper's §6 future-work knob: a finer
+	// grain multiplies the activation count of triggered operations, which
+	// defeats skew without raising the degree of partitioning.
+	TriggerGrain int
+	// ConcurrentChains runs subquery chains "in a parallel but dependent
+	// fashion" (§3): every chain starts as soon as its materialized inputs
+	// exist, and step 2 of the scheduler shares the thread budget across
+	// chains. False (default) runs chains sequentially in dependency order,
+	// each with the full budget.
+	ConcurrentChains bool
+	// StartupCost, SkewThreshold and Utilization feed the scheduler; see
+	// SchedulerOptions. Utilization throttles auto-chosen parallelism for
+	// multi-user throughput [Rahm93].
+	StartupCost   float64
+	SkewThreshold float64
+	Utilization   float64
+	// CostModel weighs plan complexity estimation; zero value = defaults.
+	CostModel *lera.CostModel
+}
+
+func (o Options) withDefaults() Options {
+	if o.Processors <= 0 {
+		o.Processors = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 16
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 256
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Result of an execution.
+type Result struct {
+	// Outputs holds every store node's materialization, by output name.
+	Outputs map[string]*partition.Partitioned
+	// Stats holds per-node scheduling counters, by node id.
+	Stats map[int]*OpStats
+	// Alloc is the thread allocation the scheduler chose.
+	Alloc Allocation
+}
+
+// Relation flattens a named output into a relation.
+func (r *Result) Relation(name string) (*relation.Relation, error) {
+	p, ok := r.Outputs[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no output %q", name)
+	}
+	return p.Union(), nil
+}
+
+// Execute runs a bound plan against a database. Chains (subqueries) run
+// sequentially in dependency order — the paper's materialization points —
+// with full pipelining inside each chain.
+func Execute(plan *lera.Plan, db DB, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := checkDB(plan, db); err != nil {
+		return nil, err
+	}
+	// Working copy: store outputs become visible to later chains.
+	work := make(DB, len(db)+len(plan.Outputs))
+	for k, v := range db {
+		work[k] = v
+	}
+
+	cm := lera.DefaultCostModel()
+	if opts.CostModel != nil {
+		cm = *opts.CostModel
+	}
+	costs := lera.Estimate(plan, cm)
+	alloc := Allocate(plan, costs, func(id int) []float64 { return instanceCosts(plan, work, id) }, SchedulerOptions{
+		Threads:          opts.Threads,
+		Processors:       opts.Processors,
+		StartupCost:      opts.StartupCost,
+		Strategy:         opts.Strategy,
+		SkewThreshold:    opts.SkewThreshold,
+		Utilization:      opts.Utilization,
+		ConcurrentChains: opts.ConcurrentChains,
+	})
+
+	res := &Result{
+		Outputs: make(map[string]*partition.Partitioned),
+		Stats:   make(map[int]*OpStats),
+		Alloc:   alloc,
+	}
+	var mu sync.Mutex // guards work and res across concurrently running chains
+	if !opts.ConcurrentChains {
+		for _, chain := range plan.Chains {
+			if err := runChain(plan, chain, work, alloc, opts, res, &mu); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+
+	// Dependent-parallel chains: each chain starts once the materializations
+	// it reads exist. A failed producer still closes its readiness channels
+	// so consumers unblock; the failure flag makes them abort.
+	ready := make(map[string]chan struct{}, len(plan.Outputs))
+	for name := range plan.Outputs {
+		ready[name] = make(chan struct{})
+	}
+	var failed atomic.Bool
+	errCh := make(chan error, len(plan.Chains))
+	for _, chain := range plan.Chains {
+		chain := chain
+		go func() {
+			outputs := chainOutputs(plan, chain)
+			defer func() {
+				for _, name := range outputs {
+					close(ready[name])
+				}
+			}()
+			for _, dep := range chainDeps(plan, chain) {
+				<-ready[dep]
+			}
+			if failed.Load() {
+				errCh <- nil // first error already captured
+				return
+			}
+			if err := runChain(plan, chain, work, alloc, opts, res, &mu); err != nil {
+				failed.Store(true)
+				errCh <- err
+				return
+			}
+			errCh <- nil
+		}()
+	}
+	var firstErr error
+	for range plan.Chains {
+		if err := <-errCh; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// chainOutputs lists the store-output names a chain produces.
+func chainOutputs(plan *lera.Plan, chain []int) []string {
+	var out []string
+	for _, id := range chain {
+		n := plan.Graph.Nodes[id]
+		if n.Kind == lera.OpStore {
+			out = append(out, n.As)
+		}
+	}
+	return out
+}
+
+// chainDeps lists the materialized relations a chain reads from other
+// chains (the binder rejects reads of a chain's own outputs).
+func chainDeps(plan *lera.Plan, chain []int) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, id := range chain {
+		n := plan.Graph.Nodes[id]
+		for _, rel := range []string{n.Rel, n.BuildRel, n.ProbeRel} {
+			if rel == "" || seen[rel] {
+				continue
+			}
+			if _, isOutput := plan.Outputs[rel]; isOutput {
+				seen[rel] = true
+				out = append(out, rel)
+			}
+		}
+	}
+	return out
+}
+
+// checkDB verifies that the database provides what the plan was bound
+// against.
+func checkDB(plan *lera.Plan, db DB) error {
+	for _, bn := range plan.Nodes {
+		n := bn.Node
+		for _, req := range []struct {
+			name   string
+			degree int
+		}{
+			{n.Rel, bn.Rel.Degree},
+			{n.BuildRel, bn.Build.Degree},
+			{n.ProbeRel, bn.Probe.Degree},
+		} {
+			if req.name == "" {
+				continue
+			}
+			if _, isOutput := plan.Outputs[req.name]; isOutput {
+				continue // produced during execution
+			}
+			p, ok := db[req.name]
+			if !ok {
+				return fmt.Errorf("core: plan needs relation %q, not in database", req.name)
+			}
+			if p.Degree() != req.degree {
+				return fmt.Errorf("core: relation %q has degree %d, plan bound against %d", req.name, p.Degree(), req.degree)
+			}
+		}
+	}
+	return nil
+}
+
+// instanceCosts estimates per-instance sequential costs for skew detection
+// and LPT ordering.
+func instanceCosts(plan *lera.Plan, db DB, id int) []float64 {
+	bn := plan.Nodes[id]
+	n := bn.Node
+	frag := func(rel string) []int {
+		if p, ok := db[rel]; ok {
+			return p.FragmentSizes()
+		}
+		return nil
+	}
+	switch n.Kind {
+	case lera.OpFilter, lera.OpTransmit:
+		sizes := frag(n.Rel)
+		out := make([]float64, len(sizes))
+		for i, s := range sizes {
+			out[i] = float64(s)
+		}
+		return out
+	case lera.OpJoin:
+		build := frag(n.BuildRel)
+		if build == nil {
+			return nil
+		}
+		out := make([]float64, len(build))
+		if n.ProbeRel != "" {
+			probe := frag(n.ProbeRel)
+			for i := range out {
+				switch n.Algo {
+				case lera.NestedLoop:
+					out[i] = float64(build[i]) * float64(probe[i])
+				default:
+					out[i] = float64(build[i]) + float64(probe[i])
+				}
+			}
+		} else {
+			for i := range out {
+				out[i] = float64(build[i])
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// runChain executes one pipeline chain to completion. mu serializes access
+// to the shared database map and result structures when chains run
+// concurrently.
+func runChain(plan *lera.Plan, chain []int, db DB, alloc Allocation, opts Options, res *Result, mu *sync.Mutex) error {
+	inChain := make(map[int]bool, len(chain))
+	for _, id := range chain {
+		inChain[id] = true
+	}
+
+	// Build operations (reads the shared database map).
+	mu.Lock()
+	ops := make(map[int]*Operation, len(chain))
+	stores := make(map[int]*operator.Store)
+	for _, id := range chain {
+		op, store, err := buildOperation(plan, id, db, alloc, opts)
+		if err != nil {
+			mu.Unlock()
+			return err
+		}
+		ops[id] = op
+		if store != nil {
+			stores[id] = store
+		}
+		res.Stats[id] = op.Stats()
+	}
+	mu.Unlock()
+
+	// Wire emission routing and producer-completion countdowns.
+	type target struct {
+		op    *Operation
+		route func(inst int, t relation.Tuple) int
+	}
+	var wireMu sync.Mutex
+	producers := make(map[int]int, len(chain)) // consumer id -> unfinished producer count
+	targetsOf := make(map[int][]target, len(chain))
+	for ei, be := range plan.Edges {
+		e := plan.Graph.Edges[ei]
+		if !inChain[e.From] {
+			continue
+		}
+		consumer := ops[e.To]
+		producers[e.To]++
+		var route func(inst int, t relation.Tuple) int
+		switch e.Route {
+		case lera.RouteSame:
+			route = func(inst int, _ relation.Tuple) int { return inst }
+		case lera.RouteHash:
+			cols := be.RouteColsIdx
+			if router := plan.Nodes[e.To].Router; router != nil {
+				route = func(_ int, t relation.Tuple) int {
+					return router.FragmentOfKey(t.Project(cols))
+				}
+			} else {
+				degree := uint64(consumer.Degree())
+				route = func(_ int, t relation.Tuple) int {
+					return int(t.HashOn(cols) % degree)
+				}
+			}
+		}
+		targetsOf[e.From] = append(targetsOf[e.From], target{op: consumer, route: route})
+	}
+	for _, id := range chain {
+		id := id
+		tgts := targetsOf[id]
+		op := ops[id]
+		op.emit = func(inst int, t relation.Tuple) {
+			for _, tg := range tgts {
+				tg.op.Queues[tg.route(inst, t)].Push(Activation{Tuple: t})
+			}
+		}
+		outs := plan.Graph.Out(id)
+		op.onComplete = func() {
+			wireMu.Lock()
+			var toClose []*Operation
+			for _, e := range outs {
+				producers[e.To]--
+				if producers[e.To] == 0 {
+					toClose = append(toClose, ops[e.To])
+				}
+			}
+			wireMu.Unlock()
+			for _, c := range toClose {
+				for _, q := range c.Queues {
+					q.Close()
+				}
+			}
+		}
+	}
+
+	// Start pools, inject triggers, wait.
+	var wg sync.WaitGroup
+	for _, id := range chain {
+		ops[id].run(&wg)
+	}
+	for _, id := range chain {
+		if plan.Graph.Triggered(id) {
+			ops[id].InjectTriggers(opts.TriggerGrain)
+		}
+	}
+	wg.Wait()
+
+	for _, id := range chain {
+		if err := ops[id].Err(); err != nil {
+			return err
+		}
+	}
+
+	// Collect materializations into the working database.
+	mu.Lock()
+	defer mu.Unlock()
+	for id, store := range stores {
+		n := plan.Graph.Nodes[id]
+		bn := plan.Nodes[id]
+		key := storeKey(plan, id)
+		p, err := partition.FromFragments(n.As, bn.InSchema, key, store.Results(), 1)
+		if err != nil {
+			return err
+		}
+		db[n.As] = p
+		res.Outputs[n.As] = p
+	}
+	return nil
+}
+
+// storeKey derives the partitioning key of a materialization from its
+// incoming hash-routed edges (nil for RouteSame inputs).
+func storeKey(plan *lera.Plan, id int) []string {
+	for _, e := range plan.Graph.In(id) {
+		if e.Route == lera.RouteHash {
+			return append([]string(nil), e.RouteCols...)
+		}
+	}
+	return nil
+}
+
+// buildOperation constructs the runtime operation of one node, including its
+// operator, per-instance contexts and LPT estimates.
+func buildOperation(plan *lera.Plan, id int, db DB, alloc Allocation, opts Options) (*Operation, *operator.Store, error) {
+	bn := plan.Nodes[id]
+	n := bn.Node
+	degree := bn.Degree
+	ctxs := make([]*operator.Context, degree)
+	for i := range ctxs {
+		ctxs[i] = &operator.Context{Instance: i}
+	}
+
+	var op operator.Operator
+	var store *operator.Store
+	switch n.Kind {
+	case lera.OpFilter:
+		op = &operator.Filter{Pred: bn.Pred}
+	case lera.OpTransmit:
+		op = &operator.Transmit{}
+	case lera.OpJoin:
+		op = &operator.Join{Algo: n.Algo, BuildKey: bn.BuildKeyIdx, ProbeKey: bn.ProbeKeyIdx}
+	case lera.OpMap:
+		op = &operator.Map{Cols: bn.ColsIdx}
+	case lera.OpAggregate:
+		op = &operator.Aggregate{GroupBy: bn.GroupIdx, Kind: n.Agg, AggCol: bn.AggIdx}
+	case lera.OpStore:
+		store = operator.NewStore(degree)
+		op = store
+	default:
+		return nil, nil, fmt.Errorf("core: unsupported node kind %v", n.Kind)
+	}
+
+	// Bind fragments into the instance contexts.
+	if n.Rel != "" {
+		p := db[n.Rel]
+		if p == nil {
+			return nil, nil, fmt.Errorf("core: relation %q not materialized before node %s", n.Rel, n.Name)
+		}
+		for i := range ctxs {
+			ctxs[i].Input = p.Fragments[i]
+		}
+	}
+	if n.BuildRel != "" {
+		p := db[n.BuildRel]
+		if p == nil {
+			return nil, nil, fmt.Errorf("core: relation %q not materialized before node %s", n.BuildRel, n.Name)
+		}
+		for i := range ctxs {
+			ctxs[i].Build = p.Fragments[i]
+		}
+	}
+	if n.ProbeRel != "" {
+		p := db[n.ProbeRel]
+		if p == nil {
+			return nil, nil, fmt.Errorf("core: relation %q not materialized before node %s", n.ProbeRel, n.Name)
+		}
+		for i := range ctxs {
+			ctxs[i].Probe = p.Fragments[i]
+		}
+	}
+
+	o := newOperation(n.Name, id, op, ctxs, opts.QueueCap, alloc.Node[id], opts.CacheSize, alloc.Strategy[id], opts.Seed+int64(id)*7919, plan.Graph.Triggered(id))
+
+	// LPT cost estimates per queue.
+	switch {
+	case plan.Graph.Triggered(id):
+		for i, q := range o.Queues {
+			var est float64
+			switch n.Kind {
+			case lera.OpFilter, lera.OpTransmit:
+				est = float64(len(ctxs[i].Input))
+			case lera.OpJoin:
+				if n.Algo == lera.NestedLoop {
+					est = float64(len(ctxs[i].Build)) * float64(len(ctxs[i].Probe))
+				} else {
+					est = float64(len(ctxs[i].Build)) + float64(len(ctxs[i].Probe))
+				}
+			}
+			q.SetEstimate(est)
+		}
+	case n.Kind == lera.OpJoin:
+		// Pipelined probe: per-tuple cost scales with the build fragment
+		// for nested loop (scan per probe), constant otherwise.
+		for i, q := range o.Queues {
+			if n.Algo == lera.NestedLoop {
+				q.SetPerTupleCost(float64(len(ctxs[i].Build)))
+			}
+		}
+	}
+	return o, store, nil
+}

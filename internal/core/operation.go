@@ -1,0 +1,381 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dbs3/internal/operator"
+	"dbs3/internal/relation"
+)
+
+// OpStats counts scheduling events of one operation; all fields are updated
+// atomically during execution.
+type OpStats struct {
+	// Activations is the number of activations processed.
+	Activations atomic.Int64
+	// Batches is the number of queue drains; Activations/Batches is the
+	// internal-cache effectiveness.
+	Batches atomic.Int64
+	// Emitted is the number of tuples sent downstream.
+	Emitted atomic.Int64
+	// SecondaryPicks counts consumptions from non-main queues — the load
+	// redistribution the shared queues exist for. Zero under perfect
+	// balance; grows when threads run dry on their own queues.
+	SecondaryPicks atomic.Int64
+	// Setups is the number of instance setups executed.
+	Setups atomic.Int64
+	// perWorker[w] counts activations processed by pool thread w; the
+	// spread across workers is the operation's load balance, the quantity
+	// the whole execution model optimizes.
+	perWorker []atomic.Int64
+}
+
+// WorkerActivations returns per-thread activation counts. Call only after
+// execution completes.
+func (s *OpStats) WorkerActivations() []int64 {
+	out := make([]int64, len(s.perWorker))
+	for i := range s.perWorker {
+		out[i] = s.perWorker[i].Load()
+	}
+	return out
+}
+
+// BalanceRatio returns max/mean of per-worker activation counts: 1.0 is a
+// perfect balance; large values mean some threads did most of the work.
+func (s *OpStats) BalanceRatio() float64 {
+	counts := s.WorkerActivations()
+	if len(counts) == 0 {
+		return 1
+	}
+	var sum, max int64
+	for _, c := range counts {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(counts))
+	return float64(max) / mean
+}
+
+// emitFunc routes one emitted tuple; built by the engine per operation.
+type emitFunc func(inst int, t relation.Tuple)
+
+// Operation is the runtime form of one Lera-par node: QueueNb activation
+// queues (one per instance), a pool of ThreadNb worker goroutines that all
+// see all queues, an internal activation cache of CacheSize, and a
+// consumption strategy (paper Figure 4's operation structure).
+type Operation struct {
+	Name      string
+	NodeID    int
+	Queues    []*Queue
+	Workers   int
+	CacheSize int
+	Strat     StrategyKind
+
+	op        operator.Operator
+	ctxs      []*operator.Context
+	setups    []sync.Once
+	emit      emitFunc
+	seed      int64
+	stats     *OpStats
+	triggered bool
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	inflight   []int
+	closeBegun []bool
+	doneCount  int
+	completed  bool
+	onComplete func()
+
+	firstErr error
+}
+
+// newOperation builds an operation over its instance contexts.
+func newOperation(name string, nodeID int, op operator.Operator, ctxs []*operator.Context, queueCap, workers, cacheSize int, strat StrategyKind, seed int64, triggered bool) *Operation {
+	if workers < 1 {
+		workers = 1
+	}
+	if cacheSize < 1 {
+		cacheSize = 1
+	}
+	o := &Operation{
+		Name:       name,
+		NodeID:     nodeID,
+		Queues:     make([]*Queue, len(ctxs)),
+		Workers:    workers,
+		CacheSize:  cacheSize,
+		Strat:      strat,
+		op:         op,
+		ctxs:       ctxs,
+		setups:     make([]sync.Once, len(ctxs)),
+		seed:       seed,
+		stats:      &OpStats{perWorker: make([]atomic.Int64, workers)},
+		triggered:  triggered,
+		inflight:   make([]int, len(ctxs)),
+		closeBegun: make([]bool, len(ctxs)),
+	}
+	o.cond = sync.NewCond(&o.mu)
+	for i := range o.Queues {
+		q := NewQueue(queueCap)
+		q.onPush = o.wake
+		o.Queues[i] = q
+	}
+	return o
+}
+
+// wake pokes waiting workers. Taking the scheduling lock orders the wakeup
+// against the check-then-wait in acquire, avoiding lost notifications.
+func (o *Operation) wake() {
+	o.mu.Lock()
+	o.cond.Broadcast()
+	o.mu.Unlock()
+}
+
+// Stats exposes the operation's counters.
+func (o *Operation) Stats() *OpStats { return o.stats }
+
+// Degree returns the instance count.
+func (o *Operation) Degree() int { return len(o.Queues) }
+
+// run starts the worker pool; the WaitGroup is released as workers exit.
+func (o *Operation) run(wg *sync.WaitGroup) {
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			o.worker(w)
+		}(w)
+	}
+}
+
+// worker is the pool thread body: acquire a batch from a main queue first,
+// then from a secondary queue by strategy; process it through the operator;
+// run instance closes when an instance drains; exit when the operation is
+// drained.
+func (o *Operation) worker(w int) {
+	// Main queues: queue i is main for worker i % Workers, so every queue
+	// is the main queue of exactly one thread but a thread may own several
+	// (§3: "each queue is the main queue of only one thread but each thread
+	// can have several main queues").
+	var main []*Queue
+	var mainIdx []int
+	for i := w; i < len(o.Queues); i += o.Workers {
+		main = append(main, o.Queues[i])
+		mainIdx = append(mainIdx, i)
+	}
+	strat := newStrategy(o.Strat, o.seed+int64(w))
+	cache := make([]Activation, 0, o.CacheSize)
+
+	for {
+		batch, qi, ok := o.acquire(strat, main, mainIdx, cache)
+		if !ok {
+			return
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		o.stats.perWorker[w].Add(int64(len(batch)))
+		o.process(qi, batch)
+		o.finishBatch(qi, len(batch))
+		cache = batch[:0]
+	}
+}
+
+// acquire picks a queue and drains a batch into cache. ok=false means the
+// operation is fully drained and the worker should exit (after the instance
+// close sweep).
+func (o *Operation) acquire(strat strategy, main []*Queue, mainIdx []int, cache []Activation) ([]Activation, int, bool) {
+	o.mu.Lock()
+	for {
+		qi := -1
+		if k := strat.pick(main); k >= 0 {
+			qi = mainIdx[k]
+		} else if k := strat.pick(o.Queues); k >= 0 {
+			qi = k
+			o.stats.SecondaryPicks.Add(1)
+		}
+		if qi >= 0 {
+			batch := o.Queues[qi].popBatch(o.CacheSize, cache)
+			if len(batch) > 0 {
+				o.inflight[qi] += len(batch)
+				o.mu.Unlock()
+				o.stats.Batches.Add(1)
+				o.stats.Activations.Add(int64(len(batch)))
+				return batch, qi, true
+			}
+			// Raced with another worker; rescan.
+			continue
+		}
+		if o.allDrainedLocked() {
+			sweep := o.claimClosesLocked()
+			o.mu.Unlock()
+			o.runCloses(sweep)
+			return nil, -1, false
+		}
+		o.cond.Wait()
+	}
+}
+
+// allDrainedLocked reports whether every queue is closed and empty.
+func (o *Operation) allDrainedLocked() bool {
+	for _, q := range o.Queues {
+		if !q.Drained() {
+			return false
+		}
+	}
+	return true
+}
+
+// claimClosesLocked claims instances whose close has not started and which
+// have no in-flight activations.
+func (o *Operation) claimClosesLocked() []int {
+	var out []int
+	for i := range o.Queues {
+		if !o.closeBegun[i] && o.inflight[i] == 0 {
+			o.closeBegun[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// process runs the operator on a batch. Panics inside operators are engine
+// bugs and propagate; data errors are recorded and stop further emission.
+func (o *Operation) process(qi int, batch []Activation) {
+	ctx := o.ctxs[qi]
+	o.setups[qi].Do(func() {
+		o.stats.Setups.Add(1)
+		if err := o.op.Setup(ctx); err != nil {
+			o.fail(err)
+		}
+	})
+	emit := func(t relation.Tuple) {
+		o.stats.Emitted.Add(1)
+		o.emit(qi, t)
+	}
+	for _, a := range batch {
+		var err error
+		switch {
+		case a.IsPartial():
+			err = o.op.OnTrigger(chunkView(ctx, a.Lo, a.Hi), emit)
+		case a.IsTrigger():
+			err = o.op.OnTrigger(ctx, emit)
+		default:
+			err = o.op.OnTuple(ctx, a.Tuple, emit)
+		}
+		if err != nil {
+			o.fail(err)
+			return
+		}
+	}
+}
+
+// chunkView builds a context restricted to the [lo, hi) slice of the
+// instance's triggered operand (Input for filter/transmit, Probe for joins).
+// Build state is shared: partial triggers only split the scan side, and the
+// per-instance State set by Setup is read-only during triggers.
+func chunkView(ctx *operator.Context, lo, hi int) *operator.Context {
+	view := &operator.Context{Instance: ctx.Instance, Build: ctx.Build, State: ctx.State}
+	if ctx.Input != nil {
+		view.Input = ctx.Input[lo:hi]
+	}
+	if ctx.Probe != nil {
+		view.Probe = ctx.Probe[lo:hi]
+	}
+	return view
+}
+
+// InjectTriggers pushes the control activations of a triggered operation and
+// closes its queues. grain 0 sends one whole-fragment trigger per instance
+// (the paper's model); grain g > 0 splits each instance's triggered operand
+// into ceil(span/g) partial triggers of at most g tuples (§6 future work).
+func (o *Operation) InjectTriggers(grain int) {
+	for i, q := range o.Queues {
+		span := len(o.ctxs[i].Input)
+		if span == 0 {
+			span = len(o.ctxs[i].Probe)
+		}
+		if grain <= 0 || span == 0 {
+			q.Push(Activation{})
+		} else {
+			for lo := 0; lo < span; lo += grain {
+				hi := lo + grain
+				if hi > span {
+					hi = span
+				}
+				q.Push(Activation{Lo: lo, Hi: hi})
+			}
+		}
+		q.Close()
+	}
+}
+
+// finishBatch retires in-flight activations and runs the instance close when
+// the instance drained.
+func (o *Operation) finishBatch(qi, n int) {
+	o.mu.Lock()
+	o.inflight[qi] -= n
+	var toClose []int
+	if o.Queues[qi].Drained() && o.inflight[qi] == 0 && !o.closeBegun[qi] {
+		o.closeBegun[qi] = true
+		toClose = append(toClose, qi)
+	}
+	o.mu.Unlock()
+	o.runCloses(toClose)
+}
+
+// runCloses executes OnClose for the claimed instances and fires the
+// operation-complete callback after the last one.
+func (o *Operation) runCloses(instances []int) {
+	for _, qi := range instances {
+		ctx := o.ctxs[qi]
+		o.setups[qi].Do(func() {
+			o.stats.Setups.Add(1)
+			if err := o.op.Setup(ctx); err != nil {
+				o.fail(err)
+			}
+		})
+		emit := func(t relation.Tuple) {
+			o.stats.Emitted.Add(1)
+			o.emit(qi, t)
+		}
+		if err := o.op.OnClose(ctx, emit); err != nil {
+			o.fail(err)
+		}
+	}
+	if len(instances) == 0 {
+		return
+	}
+	o.mu.Lock()
+	o.doneCount += len(instances)
+	complete := o.doneCount == len(o.Queues) && !o.completed
+	if complete {
+		o.completed = true
+	}
+	o.mu.Unlock()
+	if complete && o.onComplete != nil {
+		o.onComplete()
+	}
+}
+
+// fail records the first operator error.
+func (o *Operation) fail(err error) {
+	o.mu.Lock()
+	if o.firstErr == nil {
+		o.firstErr = fmt.Errorf("core: operation %s: %w", o.Name, err)
+	}
+	o.mu.Unlock()
+}
+
+// Err returns the first operator error, if any.
+func (o *Operation) Err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.firstErr
+}

@@ -1,0 +1,170 @@
+// Package core implements DBS3's adaptive parallel execution model (§3 of
+// the paper): activation queues per operator instance, a pool of threads per
+// operation that is sized independently of the degree of partitioning, main
+// and secondary queues to limit access conflicts, an internal activation
+// cache to batch queue accesses, and Random/LPT consumption strategies. It
+// also implements the four-step thread-allocation scheduler of Figure 5.
+package core
+
+import (
+	"sync"
+
+	"dbs3/internal/relation"
+)
+
+// Activation is a sequential unit of work: a control message (trigger) when
+// Tuple is nil, or one pipelined tuple.
+//
+// A trigger may be *partial*: when Hi > 0 it covers only the [Lo, Hi) slice
+// of the instance's triggered operand. Partial triggers implement the
+// paper's proposed future work (§6, "the choice of the grain of parallelism
+// independent of the operation semantics"): a triggered operation can be
+// split into several sequential units per fragment, raising the activation
+// count a and thereby shrinking the skew overhead v = (Pmax/P)(n-1)/a
+// without touching the degree of partitioning.
+type Activation struct {
+	Tuple relation.Tuple
+	// Lo and Hi bound a partial trigger; both zero for a whole-fragment
+	// trigger.
+	Lo, Hi int
+}
+
+// IsTrigger reports whether the activation is a control activation.
+func (a Activation) IsTrigger() bool { return a.Tuple == nil }
+
+// IsPartial reports whether a trigger covers only a slice of the operand.
+func (a Activation) IsPartial() bool { return a.Tuple == nil && a.Hi > 0 }
+
+// Queue is the FIFO activation queue of one operator instance (paper Figure
+// 4: a buffer protected by a mutex with producer/consumer conditions). A
+// triggered queue receives exactly one activation; a pipelined queue
+// receives one activation per tuple. Push blocks when the queue is full
+// (backpressure); consumers drain batches under the owning operation's
+// scheduling lock.
+type Queue struct {
+	mu      sync.Mutex
+	notFull *sync.Cond
+
+	buf   []Activation
+	head  int
+	count int
+
+	closed bool
+
+	// est is the static LPT estimate of the queue's total work (triggered
+	// queues: derived from fragment sizes at plan build time).
+	est float64
+	// perTupleCost weighs dynamic LPT estimates of pipelined queues.
+	perTupleCost float64
+
+	// onPush wakes the consuming operation's workers; set by the operation.
+	onPush func()
+}
+
+// NewQueue creates a queue with the given capacity (minimum 1).
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{buf: make([]Activation, capacity), perTupleCost: 1}
+	q.notFull = sync.NewCond(&q.mu)
+	return q
+}
+
+// SetEstimate sets the static LPT cost estimate (triggered queues).
+func (q *Queue) SetEstimate(est float64) {
+	q.mu.Lock()
+	q.est = est
+	q.mu.Unlock()
+}
+
+// SetPerTupleCost sets the dynamic LPT weight (pipelined queues).
+func (q *Queue) SetPerTupleCost(c float64) {
+	q.mu.Lock()
+	q.perTupleCost = c
+	q.mu.Unlock()
+}
+
+// Push appends an activation, blocking while the queue is full. Pushing to a
+// closed queue panics: producers are wired to close queues only after their
+// last push, so this is an engine bug, not a runtime condition.
+func (q *Queue) Push(a Activation) {
+	q.mu.Lock()
+	for q.count == len(q.buf) && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		q.mu.Unlock()
+		panic("core: push to closed queue")
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = a
+	q.count++
+	notify := q.onPush
+	q.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// popBatch removes up to max activations. It never blocks.
+func (q *Queue) popBatch(max int, dst []Activation) []Activation {
+	q.mu.Lock()
+	n := q.count
+	if n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, q.buf[q.head])
+		q.buf[q.head] = Activation{}
+		q.head = (q.head + 1) % len(q.buf)
+	}
+	q.count -= n
+	if n > 0 {
+		q.notFull.Broadcast()
+	}
+	q.mu.Unlock()
+	return dst
+}
+
+// Len returns the number of queued activations.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Close marks the queue as receiving no further activations. Blocked
+// producers are released (they will panic — see Push); consumers drain the
+// remainder and then treat the queue as exhausted.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.notFull.Broadcast()
+	notify := q.onPush
+	q.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// Drained reports whether the queue is closed and empty.
+func (q *Queue) Drained() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed && q.count == 0
+}
+
+// lptScore is the LPT priority: remaining estimated work. For triggered
+// queues the static estimate dominates; for pipelined queues the score is
+// queue length times the per-tuple cost.
+func (q *Queue) lptScore() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.count == 0 {
+		return 0
+	}
+	if q.est > 0 {
+		return q.est
+	}
+	return float64(q.count) * q.perTupleCost
+}

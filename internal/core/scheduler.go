@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"dbs3/internal/lera"
+)
+
+// SchedulerOptions parameterize the four-step thread allocation of Figure 5.
+type SchedulerOptions struct {
+	// Threads fixes the query's total thread count (degree of parallelism).
+	// Zero selects it from query complexity (step 1).
+	Threads int
+	// Processors caps the useful degree of parallelism (the paper: "there
+	// is no benefit in allocating more threads than available processors").
+	Processors int
+	// StartupCost is the per-thread start-up cost in the same work units as
+	// plan complexities; step 1 minimizes W/n + s*n [Wilschut92], giving
+	// n* = sqrt(W/s).
+	StartupCost float64
+	// Strategy overrides step 4 for every operation; StrategyAuto keeps the
+	// per-operation choice.
+	Strategy StrategyKind
+	// SkewThreshold is the coefficient of variation of per-instance costs
+	// above which auto mode picks LPT for a triggered operation.
+	SkewThreshold float64
+	// Utilization is the average processor utilization by other queries, in
+	// [0, 1). Step 1 reduces the auto-chosen thread count by this factor
+	// "in order to increase the multi-user throughput" [Rahm93]. Explicit
+	// Threads settings are not reduced.
+	Utilization float64
+	// ConcurrentChains selects step 2's allocation mode. When true, chains
+	// run "in a parallel but dependent fashion" and share N via the paper's
+	// equation system; when false (sequential chains), every chain gets the
+	// full N while it runs.
+	ConcurrentChains bool
+}
+
+func (o SchedulerOptions) withDefaults() SchedulerOptions {
+	if o.Processors <= 0 {
+		o.Processors = 1
+	}
+	if o.StartupCost <= 0 {
+		o.StartupCost = 1000
+	}
+	if o.SkewThreshold <= 0 {
+		o.SkewThreshold = 0.25
+	}
+	return o
+}
+
+// Allocation is the scheduler's output: threads per chain and per node, and
+// the consumption strategy per node.
+type Allocation struct {
+	// Total is the query's thread count N (step 1).
+	Total int
+	// Chain[c] is chain c's thread count (step 2).
+	Chain []int
+	// Node[id] is node id's thread count within its chain (step 3).
+	Node map[int]int
+	// Strategy[id] is node id's consumption strategy (step 4).
+	Strategy map[int]StrategyKind
+}
+
+// Allocate runs the four steps. instCosts gives the per-instance cost
+// estimates of a node (used for skew detection in step 4); it may return nil
+// when unknown.
+func Allocate(plan *lera.Plan, costs *lera.Costs, instCosts func(nodeID int) []float64, o SchedulerOptions) Allocation {
+	o = o.withDefaults()
+
+	// Step 1: number of threads for the whole query.
+	n := o.Threads
+	if n <= 0 {
+		n = int(math.Round(math.Sqrt(costs.Total / o.StartupCost)))
+		if o.Utilization > 0 && o.Utilization < 1 {
+			n = int(math.Round(float64(n) * (1 - o.Utilization)))
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	if o.Threads <= 0 && n > o.Processors {
+		n = o.Processors
+	}
+
+	chainThreads := make([]int, len(plan.Chains))
+	if o.ConcurrentChains {
+		chainThreads = allocateChains(plan, costs, n)
+	} else {
+		// Sequential chains: each chain has the whole machine while active.
+		for i := range chainThreads {
+			chainThreads[i] = n
+		}
+	}
+	alloc := Allocation{
+		Total:    n,
+		Chain:    chainThreads,
+		Node:     make(map[int]int, len(plan.Nodes)),
+		Strategy: make(map[int]StrategyKind, len(plan.Nodes)),
+	}
+
+	// Step 3: distribute each chain's threads over its operations using the
+	// complexity ratio NbThreads(Op) = NbThreads(Chain) * C(Op)/C(Chain).
+	for ci, chain := range plan.Chains {
+		nodeCosts := make([]float64, len(chain))
+		total := 0.0
+		for i, id := range chain {
+			nodeCosts[i] = costs.Node[id]
+			total += nodeCosts[i]
+		}
+		shares := proportional(alloc.Chain[ci], nodeCosts, total)
+		for i, id := range chain {
+			alloc.Node[id] = shares[i]
+		}
+	}
+
+	// Step 4: consumption strategy per operation.
+	for _, id := range plan.Order {
+		if o.Strategy != StrategyAuto {
+			alloc.Strategy[id] = o.Strategy
+			continue
+		}
+		st := StrategyRandom
+		if plan.Graph.Triggered(id) && instCosts != nil {
+			if cv := coefficientOfVariation(instCosts(id)); cv > o.SkewThreshold {
+				st = StrategyLPT
+			}
+		}
+		alloc.Strategy[id] = st
+	}
+	return alloc
+}
+
+// allocateChains is step 2: the chain-dependency forest is walked from the
+// roots; a root chain gets all N threads, and each chain's threads are
+// shared among its child chains proportionally to their subtree complexity
+// (the paper's system of equations N3+N4=N5, T1/N1 = T2/N2, ...).
+func allocateChains(plan *lera.Plan, costs *lera.Costs, n int) []int {
+	nc := len(plan.Chains)
+	out := make([]int, nc)
+	if nc == 0 {
+		return out
+	}
+	chainOf := make(map[int]int) // node id -> chain index
+	for ci, chain := range plan.Chains {
+		for _, id := range chain {
+			chainOf[id] = ci
+		}
+	}
+	// children[c] = chains whose store output chain c reads.
+	producer := make(map[string]int)
+	for name, nodeID := range plan.Outputs {
+		producer[name] = chainOf[nodeID]
+	}
+	children := make([][]int, nc)
+	isChild := make([]bool, nc)
+	for ci, chain := range plan.Chains {
+		seen := map[int]bool{}
+		for _, id := range chain {
+			node := plan.Graph.Nodes[id]
+			for _, rel := range []string{node.Rel, node.BuildRel, node.ProbeRel} {
+				if rel == "" {
+					continue
+				}
+				if src, ok := producer[rel]; ok && src != ci && !seen[src] {
+					seen[src] = true
+					children[ci] = append(children[ci], src)
+					isChild[src] = true
+				}
+			}
+		}
+	}
+	// Subtree complexity.
+	subtree := make([]float64, nc)
+	var total func(c int) float64
+	total = func(c int) float64 {
+		if subtree[c] > 0 {
+			return subtree[c]
+		}
+		s := costs.Chain[c]
+		for _, ch := range children[c] {
+			s += total(ch)
+		}
+		subtree[c] = s
+		return s
+	}
+	var assign func(c, threads int)
+	assign = func(c, threads int) {
+		out[c] = threads
+		if len(children[c]) == 0 {
+			return
+		}
+		w := make([]float64, len(children[c]))
+		var sum float64
+		for i, ch := range children[c] {
+			w[i] = total(ch)
+			sum += w[i]
+		}
+		shares := proportional(threads, w, sum)
+		for i, ch := range children[c] {
+			assign(ch, shares[i])
+		}
+	}
+	for c := 0; c < nc; c++ {
+		if !isChild[c] {
+			assign(c, n)
+		}
+	}
+	return out
+}
+
+// proportional splits n into integer shares proportional to weights, each at
+// least 1, using largest-remainder rounding. When n < len(weights) every
+// entry still gets 1 thread (an operation cannot run with zero threads).
+func proportional(n int, weights []float64, sum float64) []int {
+	k := len(weights)
+	out := make([]int, k)
+	if k == 0 {
+		return out
+	}
+	if sum <= 0 {
+		for i := range out {
+			out[i] = maxInt(1, n/k)
+		}
+		return out
+	}
+	type frac struct {
+		i int
+		f float64
+	}
+	fr := make([]frac, k)
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(n) * w / sum
+		out[i] = int(math.Floor(exact))
+		if out[i] < 1 {
+			out[i] = 1
+		}
+		assigned += out[i]
+		fr[i] = frac{i, exact - math.Floor(exact)}
+	}
+	sort.SliceStable(fr, func(a, b int) bool { return fr[a].f > fr[b].f })
+	for j := 0; assigned < n; j = (j + 1) % k {
+		out[fr[j].i]++
+		assigned++
+	}
+	return out
+}
+
+// coefficientOfVariation returns stddev/mean of the per-instance costs; 0
+// for fewer than two instances or zero mean.
+func coefficientOfVariation(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	var varsum float64
+	for _, x := range xs {
+		d := x - mean
+		varsum += d * d
+	}
+	return math.Sqrt(varsum/float64(len(xs))) / mean
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

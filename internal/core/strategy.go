@@ -1,0 +1,86 @@
+package core
+
+import "math/rand"
+
+// StrategyKind selects the consumption strategy of an operation's thread
+// pool (§3 step 4). Main queues are always preferred; the strategy decides
+// among non-empty secondary queues.
+type StrategyKind int
+
+const (
+	// StrategyAuto lets the scheduler pick: LPT for triggered operations on
+	// skewed fragments, Random otherwise.
+	StrategyAuto StrategyKind = iota
+	// StrategyRandom picks a random non-empty queue — the paper's default.
+	StrategyRandom
+	// StrategyLPT (Longest Processing Time first [Graham69]) picks the
+	// non-empty queue with the most expensive remaining work; the paper's
+	// answer to skew on triggered operations.
+	StrategyLPT
+)
+
+// String names the strategy.
+func (s StrategyKind) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyRandom:
+		return "random"
+	case StrategyLPT:
+		return "lpt"
+	default:
+		return "unknown"
+	}
+}
+
+// strategy picks a queue index among the non-empty ones; -1 when all empty.
+// Implementations need not be goroutine-safe: each worker owns one.
+type strategy interface {
+	pick(queues []*Queue) int
+}
+
+// randomStrategy is the paper's default: a uniformly random non-empty queue.
+type randomStrategy struct {
+	rng *rand.Rand
+	idx []int
+}
+
+func newRandomStrategy(seed int64) *randomStrategy {
+	return &randomStrategy{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *randomStrategy) pick(queues []*Queue) int {
+	r.idx = r.idx[:0]
+	for i, q := range queues {
+		if q.Len() > 0 {
+			r.idx = append(r.idx, i)
+		}
+	}
+	if len(r.idx) == 0 {
+		return -1
+	}
+	return r.idx[r.rng.Intn(len(r.idx))]
+}
+
+// lptStrategy picks the non-empty queue with the highest remaining cost.
+// The paper implements LPT without estimating each activation's execution
+// time: operation instances are ranked by static fragment-size information,
+// which is exactly what Queue.lptScore exposes.
+type lptStrategy struct{}
+
+func (lptStrategy) pick(queues []*Queue) int {
+	best, bestScore := -1, 0.0
+	for i, q := range queues {
+		if s := q.lptScore(); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+func newStrategy(kind StrategyKind, seed int64) strategy {
+	if kind == StrategyLPT {
+		return lptStrategy{}
+	}
+	return newRandomStrategy(seed)
+}

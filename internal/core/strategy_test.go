@@ -1,0 +1,111 @@
+package core
+
+import "testing"
+
+func queuesWithLens(lens ...int) []*Queue {
+	qs := make([]*Queue, len(lens))
+	for i, n := range lens {
+		qs[i] = NewQueue(maxInt(n, 1))
+		for j := 0; j < n; j++ {
+			qs[i].Push(tupleAct(int64(j)))
+		}
+	}
+	return qs
+}
+
+func TestRandomPicksOnlyNonEmpty(t *testing.T) {
+	qs := queuesWithLens(0, 3, 0, 2, 0)
+	s := newRandomStrategy(42)
+	for i := 0; i < 100; i++ {
+		k := s.pick(qs)
+		if k != 1 && k != 3 {
+			t.Fatalf("picked empty queue %d", k)
+		}
+	}
+}
+
+func TestRandomAllEmpty(t *testing.T) {
+	qs := queuesWithLens(0, 0)
+	if k := newRandomStrategy(1).pick(qs); k != -1 {
+		t.Errorf("pick = %d, want -1", k)
+	}
+}
+
+func TestRandomDeterministicWithSeed(t *testing.T) {
+	qs := queuesWithLens(1, 1, 1, 1)
+	a, b := newRandomStrategy(7), newRandomStrategy(7)
+	for i := 0; i < 50; i++ {
+		if a.pick(qs) != b.pick(qs) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRandomCoversAllNonEmpty(t *testing.T) {
+	qs := queuesWithLens(1, 1, 1)
+	s := newRandomStrategy(3)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[s.pick(qs)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("random strategy never visited some queues: %v", seen)
+	}
+}
+
+func TestLPTPicksMostExpensive(t *testing.T) {
+	qs := queuesWithLens(1, 1, 1)
+	qs[0].SetEstimate(10)
+	qs[1].SetEstimate(99)
+	qs[2].SetEstimate(50)
+	if k := (lptStrategy{}).pick(qs); k != 1 {
+		t.Errorf("LPT picked %d, want 1", k)
+	}
+	// Drain queue 1; next pick is queue 2.
+	qs[1].popBatch(1, nil)
+	if k := (lptStrategy{}).pick(qs); k != 2 {
+		t.Errorf("LPT picked %d, want 2", k)
+	}
+}
+
+func TestLPTAllEmpty(t *testing.T) {
+	qs := queuesWithLens(0, 0, 0)
+	if k := (lptStrategy{}).pick(qs); k != -1 {
+		t.Errorf("pick = %d, want -1", k)
+	}
+}
+
+func TestLPTDynamicPipelinedScore(t *testing.T) {
+	qs := queuesWithLens(3, 1)
+	qs[0].SetPerTupleCost(1)
+	qs[1].SetPerTupleCost(100)
+	if k := (lptStrategy{}).pick(qs); k != 1 {
+		t.Errorf("LPT should weight per-tuple cost, picked %d", k)
+	}
+}
+
+func TestNewStrategyFactory(t *testing.T) {
+	if _, ok := newStrategy(StrategyLPT, 1).(lptStrategy); !ok {
+		t.Error("StrategyLPT should build lptStrategy")
+	}
+	if _, ok := newStrategy(StrategyRandom, 1).(*randomStrategy); !ok {
+		t.Error("StrategyRandom should build randomStrategy")
+	}
+	if _, ok := newStrategy(StrategyAuto, 1).(*randomStrategy); !ok {
+		t.Error("StrategyAuto should default to randomStrategy at pool level")
+	}
+}
+
+func TestStrategyKindString(t *testing.T) {
+	cases := map[StrategyKind]string{
+		StrategyAuto:     "auto",
+		StrategyRandom:   "random",
+		StrategyLPT:      "lpt",
+		StrategyKind(99): "unknown",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

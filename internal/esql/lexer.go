@@ -1,0 +1,104 @@
+// Package esql implements a subset of ESQL [Gardarin92], DBS3's SQL dialect,
+// sufficient for the workloads the paper runs: single-table selections,
+// two-way equi-joins, projections and grouped aggregates. The compiler
+// parses a query and emits a parallel Lera-par plan, choosing between the
+// co-located (IdealJoin) and repartitioning (AssocJoin) plan shapes from the
+// catalog's partitioning metadata — the compile-time parallelization of §2.
+package esql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * =  <> < <= > >= .
+	tokKeyword
+)
+
+// token is one lexeme.
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents as written
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "JOIN": true, "ON": true,
+	"GROUP": true, "BY": true, "AND": true, "OR": true, "NOT": true,
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AS": true,
+	"USING": true,
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(input) && input[j] != '\'' {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("esql: unterminated string at %d", i)
+			}
+			out = append(out, token{tokString, input[i+1 : j], i})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '-' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1]))):
+			j := i + 1
+			for j < len(input) && unicode.IsDigit(rune(input[j])) {
+				j++
+			}
+			out = append(out, token{tokNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			word := input[i:j]
+			if keywords[strings.ToUpper(word)] {
+				out = append(out, token{tokKeyword, strings.ToUpper(word), i})
+			} else {
+				out = append(out, token{tokIdent, word, i})
+			}
+			i = j
+		case c == '<':
+			if i+1 < len(input) && (input[i+1] == '=' || input[i+1] == '>') {
+				out = append(out, token{tokSymbol, input[i : i+2], i})
+				i += 2
+			} else {
+				out = append(out, token{tokSymbol, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				out = append(out, token{tokSymbol, ">=", i})
+				i += 2
+			} else {
+				out = append(out, token{tokSymbol, ">", i})
+				i++
+			}
+		case strings.ContainsRune("(),*=.", c):
+			out = append(out, token{tokSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("esql: unexpected character %q at %d", c, i)
+		}
+	}
+	out = append(out, token{tokEOF, "", len(input)})
+	return out, nil
+}

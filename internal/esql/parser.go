@@ -1,0 +1,357 @@
+package esql
+
+import (
+	"fmt"
+	"strconv"
+
+	"dbs3/internal/lera"
+	"dbs3/internal/relation"
+)
+
+// Query is the parsed form of an ESQL statement.
+type Query struct {
+	// Star selects every column.
+	Star bool
+	// Cols are the projected column names (possibly qualified "T.col").
+	Cols []string
+	// Agg is the aggregate of the select list, if any.
+	Agg *AggItem
+	// From is the first relation.
+	From string
+	// Joins lists the equi-joins, in syntactic order; each must connect a
+	// new table to one already joined.
+	Joins []JoinClause
+	// Where is the filter predicate (column names possibly qualified).
+	Where lera.Predicate
+	// GroupBy lists grouping columns.
+	GroupBy []string
+}
+
+// AggItem is one aggregate in the select list.
+type AggItem struct {
+	Kind lera.AggKind
+	Col  string // empty for COUNT(*)
+}
+
+// JoinClause is "JOIN t ON a.x = b.y".
+type JoinClause struct {
+	Table             string
+	LeftCol, RightCol qualified
+}
+
+// qualified is a possibly table-qualified column reference.
+type qualified struct {
+	Table, Col string
+}
+
+func (q qualified) String() string {
+	if q.Table == "" {
+		return q.Col
+	}
+	return q.Table + "." + q.Col
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one ESQL statement.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return q, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) eat(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		t := p.cur()
+		p.i++
+		return t, nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("esql: at position %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) query() (*Query, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if err := p.selectList(q); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	q.From = from.text
+	for p.eat(tokKeyword, "JOIN") {
+		jc, err := p.joinClause()
+		if err != nil {
+			return nil, err
+		}
+		q.Joins = append(q.Joins, *jc)
+	}
+	if p.eat(tokKeyword, "WHERE") {
+		pred, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = pred
+	}
+	if p.eat(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.qualifiedCol()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col.String())
+			if !p.eat(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if q.Agg != nil && len(q.GroupBy) == 0 {
+		return nil, fmt.Errorf("esql: aggregates require GROUP BY in this subset")
+	}
+	if q.Agg == nil && len(q.GroupBy) > 0 {
+		return nil, fmt.Errorf("esql: GROUP BY requires an aggregate in the select list")
+	}
+	return q, nil
+}
+
+func (p *parser) selectList(q *Query) error {
+	if p.eat(tokSymbol, "*") {
+		q.Star = true
+		return nil
+	}
+	for {
+		switch {
+		case p.at(tokKeyword, "COUNT"), p.at(tokKeyword, "SUM"), p.at(tokKeyword, "MIN"), p.at(tokKeyword, "MAX"):
+			if q.Agg != nil {
+				return p.errf("only one aggregate per query in this subset")
+			}
+			kw := p.cur().text
+			p.i++
+			if _, err := p.expect(tokSymbol, "("); err != nil {
+				return err
+			}
+			item := &AggItem{}
+			switch kw {
+			case "COUNT":
+				item.Kind = lera.AggCount
+				if _, err := p.expect(tokSymbol, "*"); err != nil {
+					return err
+				}
+			case "SUM":
+				item.Kind = lera.AggSum
+			case "MIN":
+				item.Kind = lera.AggMin
+			case "MAX":
+				item.Kind = lera.AggMax
+			}
+			if kw != "COUNT" {
+				col, err := p.qualifiedCol()
+				if err != nil {
+					return err
+				}
+				item.Col = col.String()
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return err
+			}
+			q.Agg = item
+		default:
+			col, err := p.qualifiedCol()
+			if err != nil {
+				return err
+			}
+			q.Cols = append(q.Cols, col.String())
+		}
+		if !p.eat(tokSymbol, ",") {
+			return nil
+		}
+	}
+}
+
+func (p *parser) joinClause() (*JoinClause, error) {
+	table, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	left, err := p.qualifiedCol()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "="); err != nil {
+		return nil, err
+	}
+	right, err := p.qualifiedCol()
+	if err != nil {
+		return nil, err
+	}
+	if left.Table == "" || right.Table == "" {
+		return nil, fmt.Errorf("esql: join columns must be table-qualified")
+	}
+	return &JoinClause{Table: table.text, LeftCol: left, RightCol: right}, nil
+}
+
+func (p *parser) qualifiedCol() (qualified, error) {
+	id, err := p.expect(tokIdent, "")
+	if err != nil {
+		return qualified{}, err
+	}
+	if p.eat(tokSymbol, ".") {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return qualified{}, err
+		}
+		return qualified{Table: id.text, Col: col.text}, nil
+	}
+	return qualified{Col: id.text}, nil
+}
+
+// Predicate grammar: or := and (OR and)* ; and := unary (AND unary)* ;
+// unary := NOT unary | '(' or ')' | comparison.
+func (p *parser) orExpr() (lera.Predicate, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	terms := []lera.Predicate{left}
+	for p.eat(tokKeyword, "OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return lera.Or{Terms: terms}, nil
+}
+
+func (p *parser) andExpr() (lera.Predicate, error) {
+	left, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	terms := []lera.Predicate{left}
+	for p.eat(tokKeyword, "AND") {
+		right, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return lera.And{Terms: terms}, nil
+}
+
+func (p *parser) unaryExpr() (lera.Predicate, error) {
+	if p.eat(tokKeyword, "NOT") {
+		inner, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return lera.Not{Term: inner}, nil
+	}
+	if p.eat(tokSymbol, "(") {
+		inner, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.comparison()
+}
+
+func (p *parser) comparison() (lera.Predicate, error) {
+	left, err := p.qualifiedCol()
+	if err != nil {
+		return nil, err
+	}
+	var op lera.CmpOp
+	switch {
+	case p.eat(tokSymbol, "="):
+		op = lera.EQ
+	case p.eat(tokSymbol, "<>"):
+		op = lera.NE
+	case p.eat(tokSymbol, "<="):
+		op = lera.LE
+	case p.eat(tokSymbol, "<"):
+		op = lera.LT
+	case p.eat(tokSymbol, ">="):
+		op = lera.GE
+	case p.eat(tokSymbol, ">"):
+		op = lera.GT
+	default:
+		return nil, p.errf("expected comparison operator, found %q", p.cur().text)
+	}
+	switch {
+	case p.at(tokNumber, ""):
+		v, err := strconv.ParseInt(p.cur().text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", p.cur().text)
+		}
+		p.i++
+		return lera.ColConst{Col: left.String(), Op: op, Val: relation.Int(v)}, nil
+	case p.at(tokString, ""):
+		s := p.cur().text
+		p.i++
+		return lera.ColConst{Col: left.String(), Op: op, Val: relation.Str(s)}, nil
+	case p.at(tokIdent, ""):
+		right, err := p.qualifiedCol()
+		if err != nil {
+			return nil, err
+		}
+		return lera.ColCol{Left: left.String(), Op: op, Right: right.String()}, nil
+	default:
+		return nil, p.errf("expected literal or column, found %q", p.cur().text)
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import "dbs3/internal/sim"
+
+// §5.2 experiment: a parallel selection over the 200K-tuple DewittA relation
+// with 5..30 threads, executed once with all data local and once with all
+// data initially remote (the Allcache ships lines on demand at 6x the local
+// cost). The paper reports Tr - Tl ~ 4% of execution time, decreasing with
+// the thread count; below 5 threads the per-thread working set exceeds the
+// local cache so Tl = Tr.
+
+const (
+	selCard   = 200_000
+	selDegree = 200
+)
+
+func remoteLocalTimes() (threads []int, local, remote []float64) {
+	m := calibrated
+	cfg := m.Config(1)
+	sizes := sim.UniformSizes(selCard, selDegree)
+	for n := 5; n <= 30; n += 5 {
+		threads = append(threads, n)
+		l := sim.Triggered(sim.TriggeredSpec{
+			Costs: m.SelectionCosts(sizes, false, n), Threads: n,
+			QueueOverhead: m.TriggeredQueueOverhead,
+		}, cfg)
+		r := sim.Triggered(sim.TriggeredSpec{
+			Costs: m.SelectionCosts(sizes, true, n), Threads: n,
+			QueueOverhead: m.TriggeredQueueOverhead,
+		}, cfg)
+		local = append(local, l.Time)
+		remote = append(remote, r.Time)
+	}
+	return
+}
+
+// Fig8 reproduces Figure 8: execution time of the 200K selection, remote vs
+// local, for 5..30 threads.
+func Fig8() *Figure {
+	threads, local, remote := remoteLocalTimes()
+	f := &Figure{
+		ID:     "fig8",
+		Title:  "Impact of remote access for a 200K tuples selection",
+		XLabel: "threads",
+		YLabel: "execution time (s)",
+		Series: []Series{{Name: "Remote execution"}, {Name: "Local execution"}},
+	}
+	for i, n := range threads {
+		f.Series[0].Points = append(f.Series[0].Points, Point{float64(n), remote[i]})
+		f.Series[1].Points = append(f.Series[1].Points, Point{float64(n), local[i]})
+	}
+	return f
+}
+
+// Fig9 reproduces Figure 9: the difference Tr - Tl in milliseconds,
+// decreasing with the thread count as remote fetches parallelize.
+func Fig9() *Figure {
+	threads, local, remote := remoteLocalTimes()
+	f := &Figure{
+		ID:     "fig9",
+		Title:  "Difference of remote and local execution time",
+		XLabel: "threads",
+		YLabel: "(Tr - Tl) (ms)",
+		Series: []Series{{Name: "Tr - Tl"}},
+	}
+	for i, n := range threads {
+		f.Series[0].Points = append(f.Series[0].Points, Point{float64(n), (remote[i] - local[i]) * 1000})
+	}
+	return f
+}

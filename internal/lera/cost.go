@@ -1,0 +1,135 @@
+package lera
+
+// Cost estimation for the scheduler's thread-allocation steps (§3, Figure
+// 5): step 1 needs the query's total sequential complexity, steps 2-3 need
+// per-chain and per-operation complexities. Units are abstract "work units"
+// (roughly tuples touched); only ratios matter for allocation.
+
+// NodeCost estimates the sequential complexity of each node, and CostModel
+// parameterizes the per-operation weights.
+type CostModel struct {
+	// FilterTuple is the cost of evaluating the predicate on one tuple.
+	FilterTuple float64
+	// TransmitTuple is the cost of routing one tuple.
+	TransmitTuple float64
+	// NestedLoopPair is the cost of one build-probe tuple comparison.
+	NestedLoopPair float64
+	// HashBuildTuple / HashProbeTuple are the costs of inserting and
+	// probing one tuple in a hash table (hash and temp-index joins).
+	HashBuildTuple float64
+	HashProbeTuple float64
+	// MapTuple / AggTuple / StoreTuple are per-tuple costs.
+	MapTuple   float64
+	AggTuple   float64
+	StoreTuple float64
+	// DefaultSelectivity scales output cardinalities of filters when no
+	// statistics say otherwise.
+	DefaultSelectivity float64
+}
+
+// DefaultCostModel returns the weights used when the caller supplies none.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		FilterTuple:        1,
+		TransmitTuple:      1,
+		NestedLoopPair:     1,
+		HashBuildTuple:     2,
+		HashProbeTuple:     1,
+		MapTuple:           1,
+		AggTuple:           2,
+		StoreTuple:         1,
+		DefaultSelectivity: 0.5,
+	}
+}
+
+// Costs holds the estimation result.
+type Costs struct {
+	// Node[i] is node i's estimated sequential complexity.
+	Node []float64
+	// OutCard[i] is node i's estimated output cardinality.
+	OutCard []float64
+	// Chain[c] is the total complexity of plan chain c.
+	Chain []float64
+	// Total is the whole query's complexity.
+	Total float64
+}
+
+// Estimate computes complexities for every node of a bound plan. Cardinality
+// estimates flow along the topological order; bound relations contribute
+// their true cardinalities (the engine knows fragment sizes at bind time).
+func Estimate(p *Plan, m CostModel) *Costs {
+	c := &Costs{
+		Node:    make([]float64, len(p.Nodes)),
+		OutCard: make([]float64, len(p.Nodes)),
+		Chain:   make([]float64, len(p.Chains)),
+	}
+	for _, id := range p.Order {
+		bn := p.Nodes[id]
+		inCard := 0.0
+		for _, e := range p.Graph.In(id) {
+			inCard += c.OutCard[e.From]
+		}
+		switch bn.Node.Kind {
+		case OpFilter:
+			card := relCard(bn.Rel)
+			c.Node[id] = card * m.FilterTuple
+			sel := m.DefaultSelectivity
+			if _, isTrue := bn.Pred.(True); isTrue {
+				sel = 1
+			}
+			c.OutCard[id] = card * sel
+		case OpTransmit:
+			card := inCard
+			if bn.Node.Rel != "" {
+				card = relCard(bn.Rel)
+			}
+			c.Node[id] = card * m.TransmitTuple
+			c.OutCard[id] = card
+		case OpJoin:
+			build := relCard(bn.Build)
+			probe := inCard
+			if bn.Node.ProbeRel != "" {
+				probe = relCard(bn.Probe)
+			}
+			d := float64(bn.Degree)
+			switch bn.Node.Algo {
+			case NestedLoop:
+				// Per-fragment nested loop: (build/d) * (probe/d) pairs per
+				// instance, d instances.
+				c.Node[id] = (build / d) * (probe / d) * d * m.NestedLoopPair
+			case HashJoin, TempIndex:
+				c.Node[id] = build*m.HashBuildTuple + probe*m.HashProbeTuple
+			}
+			// Keyed equijoin on a (near-)unique build key: out ~ probe.
+			c.OutCard[id] = probe
+		case OpMap:
+			c.Node[id] = inCard * m.MapTuple
+			c.OutCard[id] = inCard
+		case OpAggregate:
+			c.Node[id] = inCard * m.AggTuple
+			c.OutCard[id] = inCard * m.DefaultSelectivity
+		case OpStore:
+			c.Node[id] = inCard * m.StoreTuple
+			c.OutCard[id] = 0
+		}
+	}
+	for ci, chain := range p.Chains {
+		for _, id := range chain {
+			c.Chain[ci] += c.Node[id]
+		}
+		c.Total += c.Chain[ci]
+	}
+	return c
+}
+
+func relCard(ri RelInfo) float64 {
+	n := 0
+	for _, s := range ri.FragSizes {
+		n += s
+	}
+	if n == 0 && ri.Degree > 0 {
+		// No statistics: assume a nominal fragment of 1000 tuples.
+		return float64(ri.Degree) * 1000
+	}
+	return float64(n)
+}

@@ -1,0 +1,74 @@
+package lera
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the plan's "simple view" (one node per operation, Figure 1
+// left) in Graphviz DOT format. Bound base relations appear as box nodes;
+// trigger activations as dashed arrows from a Trigger source.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph lera {\n  rankdir=BT;\n")
+	b.WriteString("  trigger [label=\"Trigger\", shape=plaintext];\n")
+	rels := make(map[string]bool)
+	for _, n := range g.Nodes {
+		label := n.Name
+		switch n.Kind {
+		case OpFilter:
+			if n.Pred != nil {
+				label += "\\n" + escapeDot(n.Pred.String())
+			}
+		case OpJoin:
+			label += fmt.Sprintf("\\n%s on %s", n.Algo, strings.Join(n.BuildKey, ","))
+		case OpStore:
+			label += "\\n-> " + n.As
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\", shape=ellipse];\n", n.ID, label)
+		for _, rel := range []string{n.Rel, n.BuildRel, n.ProbeRel} {
+			if rel != "" {
+				rels[rel] = true
+				fmt.Fprintf(&b, "  rel_%s -> n%d [style=bold];\n", sanitize(rel), n.ID)
+			}
+		}
+		if g.Triggered(n.ID) {
+			fmt.Fprintf(&b, "  trigger -> n%d [style=dashed];\n", n.ID)
+		}
+	}
+	names := make([]string, 0, len(rels))
+	for r := range rels {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	for _, r := range names {
+		fmt.Fprintf(&b, "  rel_%s [label=\"%s\", shape=box];\n", sanitize(r), r)
+	}
+	for _, e := range g.Edges {
+		attr := ""
+		if e.Route == RouteHash {
+			attr = fmt.Sprintf(" [label=\"hash(%s)\"]", strings.Join(e.RouteCols, ","))
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d%s;\n", e.From, e.To, attr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func escapeDot(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

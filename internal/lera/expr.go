@@ -1,0 +1,250 @@
+package lera
+
+import (
+	"fmt"
+	"strings"
+
+	"dbs3/internal/relation"
+)
+
+// Predicate is a boolean expression over a tuple, used by filter nodes and
+// theta-join residuals. Predicates are plain data (no closures) so plans can
+// be inspected, validated against schemas, and printed.
+type Predicate interface {
+	// Eval evaluates the predicate on a tuple laid out per the bound schema.
+	Eval(t relation.Tuple) bool
+	// Bind resolves column names to positions in the schema, returning a
+	// bound copy. Unresolved columns or type mismatches are errors.
+	Bind(s *relation.Schema) (Predicate, error)
+	// String renders the predicate in SQL-ish syntax.
+	String() string
+}
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators for predicates.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String renders the operator.
+func (o CmpOp) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(o))
+	}
+}
+
+func cmpHolds(op CmpOp, c int) bool {
+	switch op {
+	case EQ:
+		return c == 0
+	case NE:
+		return c != 0
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	case GT:
+		return c > 0
+	case GE:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// True is the always-true predicate (a pure scan).
+type True struct{}
+
+// Eval implements Predicate.
+func (True) Eval(relation.Tuple) bool { return true }
+
+// Bind implements Predicate.
+func (p True) Bind(*relation.Schema) (Predicate, error) { return p, nil }
+
+// String implements Predicate.
+func (True) String() string { return "TRUE" }
+
+// ColConst compares a named column with a constant.
+type ColConst struct {
+	Col string
+	Op  CmpOp
+	Val relation.Value
+
+	bound bool
+	idx   int
+}
+
+// Eval implements Predicate. The predicate must have been bound.
+func (p ColConst) Eval(t relation.Tuple) bool {
+	if !p.bound {
+		panic("lera: Eval on unbound predicate " + p.String())
+	}
+	return cmpHolds(p.Op, t[p.idx].Compare(p.Val))
+}
+
+// Bind implements Predicate.
+func (p ColConst) Bind(s *relation.Schema) (Predicate, error) {
+	i, ok := s.Index(p.Col)
+	if !ok {
+		return nil, fmt.Errorf("lera: predicate column %q not in schema %s", p.Col, s)
+	}
+	if s.Column(i).Type != p.Val.Kind() {
+		return nil, fmt.Errorf("lera: predicate %s compares %s column with %s constant", p.String(), s.Column(i).Type, p.Val.Kind())
+	}
+	p.bound, p.idx = true, i
+	return p, nil
+}
+
+// String implements Predicate.
+func (p ColConst) String() string {
+	if p.Val.Kind() == relation.TString {
+		return fmt.Sprintf("%s %s '%s'", p.Col, p.Op, p.Val)
+	}
+	return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Val)
+}
+
+// ColCol compares two named columns of the same tuple.
+type ColCol struct {
+	Left  string
+	Op    CmpOp
+	Right string
+
+	bound  bool
+	li, ri int
+}
+
+// Eval implements Predicate.
+func (p ColCol) Eval(t relation.Tuple) bool {
+	if !p.bound {
+		panic("lera: Eval on unbound predicate " + p.String())
+	}
+	return cmpHolds(p.Op, t[p.li].Compare(t[p.ri]))
+}
+
+// Bind implements Predicate.
+func (p ColCol) Bind(s *relation.Schema) (Predicate, error) {
+	li, ok := s.Index(p.Left)
+	if !ok {
+		return nil, fmt.Errorf("lera: predicate column %q not in schema %s", p.Left, s)
+	}
+	ri, ok := s.Index(p.Right)
+	if !ok {
+		return nil, fmt.Errorf("lera: predicate column %q not in schema %s", p.Right, s)
+	}
+	if s.Column(li).Type != s.Column(ri).Type {
+		return nil, fmt.Errorf("lera: predicate %s compares %s with %s", p.String(), s.Column(li).Type, s.Column(ri).Type)
+	}
+	p.bound, p.li, p.ri = true, li, ri
+	return p, nil
+}
+
+// String implements Predicate.
+func (p ColCol) String() string { return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Right) }
+
+// And is a conjunction of predicates.
+type And struct{ Terms []Predicate }
+
+// Eval implements Predicate.
+func (p And) Eval(t relation.Tuple) bool {
+	for _, q := range p.Terms {
+		if !q.Eval(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bind implements Predicate.
+func (p And) Bind(s *relation.Schema) (Predicate, error) {
+	out := And{Terms: make([]Predicate, len(p.Terms))}
+	for i, q := range p.Terms {
+		b, err := q.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+		out.Terms[i] = b
+	}
+	return out, nil
+}
+
+// String implements Predicate.
+func (p And) String() string {
+	parts := make([]string, len(p.Terms))
+	for i, q := range p.Terms {
+		parts[i] = q.String()
+	}
+	return "(" + strings.Join(parts, " AND ") + ")"
+}
+
+// Or is a disjunction of predicates.
+type Or struct{ Terms []Predicate }
+
+// Eval implements Predicate.
+func (p Or) Eval(t relation.Tuple) bool {
+	for _, q := range p.Terms {
+		if q.Eval(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Bind implements Predicate.
+func (p Or) Bind(s *relation.Schema) (Predicate, error) {
+	out := Or{Terms: make([]Predicate, len(p.Terms))}
+	for i, q := range p.Terms {
+		b, err := q.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+		out.Terms[i] = b
+	}
+	return out, nil
+}
+
+// String implements Predicate.
+func (p Or) String() string {
+	parts := make([]string, len(p.Terms))
+	for i, q := range p.Terms {
+		parts[i] = q.String()
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+
+// Not negates a predicate.
+type Not struct{ Term Predicate }
+
+// Eval implements Predicate.
+func (p Not) Eval(t relation.Tuple) bool { return !p.Term.Eval(t) }
+
+// Bind implements Predicate.
+func (p Not) Bind(s *relation.Schema) (Predicate, error) {
+	b, err := p.Term.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	return Not{Term: b}, nil
+}
+
+// String implements Predicate.
+func (p Not) String() string { return "NOT " + p.Term.String() }

@@ -1,0 +1,170 @@
+package lera
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dbs3/internal/relation"
+)
+
+var exprSchema = relation.MustSchema(
+	relation.Column{Name: "a", Type: relation.TInt},
+	relation.Column{Name: "b", Type: relation.TInt},
+	relation.Column{Name: "s", Type: relation.TString},
+)
+
+func bindOK(t *testing.T, p Predicate) Predicate {
+	t.Helper()
+	b, err := p.Bind(exprSchema)
+	if err != nil {
+		t.Fatalf("Bind(%s): %v", p, err)
+	}
+	return b
+}
+
+func TestColConstEval(t *testing.T) {
+	tup := relation.NewTuple(relation.Int(5), relation.Int(10), relation.Str("x"))
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{ColConst{Col: "a", Op: EQ, Val: relation.Int(5)}, true},
+		{ColConst{Col: "a", Op: NE, Val: relation.Int(5)}, false},
+		{ColConst{Col: "a", Op: LT, Val: relation.Int(6)}, true},
+		{ColConst{Col: "a", Op: LE, Val: relation.Int(5)}, true},
+		{ColConst{Col: "a", Op: GT, Val: relation.Int(5)}, false},
+		{ColConst{Col: "a", Op: GE, Val: relation.Int(5)}, true},
+		{ColConst{Col: "s", Op: EQ, Val: relation.Str("x")}, true},
+		{ColConst{Col: "s", Op: LT, Val: relation.Str("y")}, true},
+	}
+	for _, c := range cases {
+		if got := bindOK(t, c.p).Eval(tup); got != c.want {
+			t.Errorf("%s on %v = %v, want %v", c.p, tup, got, c.want)
+		}
+	}
+}
+
+func TestColColEval(t *testing.T) {
+	lt := relation.NewTuple(relation.Int(1), relation.Int(2), relation.Str(""))
+	eq := relation.NewTuple(relation.Int(3), relation.Int(3), relation.Str(""))
+	p := bindOK(t, ColCol{Left: "a", Op: LT, Right: "b"})
+	if !p.Eval(lt) || p.Eval(eq) {
+		t.Error("ColCol LT wrong")
+	}
+	q := bindOK(t, ColCol{Left: "a", Op: EQ, Right: "b"})
+	if q.Eval(lt) || !q.Eval(eq) {
+		t.Error("ColCol EQ wrong")
+	}
+}
+
+func TestPredicateBindErrors(t *testing.T) {
+	cases := []Predicate{
+		ColConst{Col: "absent", Op: EQ, Val: relation.Int(1)},
+		ColConst{Col: "a", Op: EQ, Val: relation.Str("type mismatch")},
+		ColCol{Left: "absent", Op: EQ, Right: "b"},
+		ColCol{Left: "a", Op: EQ, Right: "absent"},
+		ColCol{Left: "a", Op: EQ, Right: "s"},
+		And{Terms: []Predicate{ColConst{Col: "absent", Op: EQ, Val: relation.Int(1)}}},
+		Or{Terms: []Predicate{ColConst{Col: "absent", Op: EQ, Val: relation.Int(1)}}},
+		Not{Term: ColConst{Col: "absent", Op: EQ, Val: relation.Int(1)}},
+	}
+	for _, p := range cases {
+		if _, err := p.Bind(exprSchema); err == nil {
+			t.Errorf("Bind(%s) should fail", p)
+		}
+	}
+}
+
+func TestUnboundEvalPanics(t *testing.T) {
+	tup := relation.NewTuple(relation.Int(1), relation.Int(2), relation.Str(""))
+	for _, p := range []Predicate{
+		ColConst{Col: "a", Op: EQ, Val: relation.Int(1)},
+		ColCol{Left: "a", Op: EQ, Right: "b"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Eval on unbound %s should panic", p)
+				}
+			}()
+			p.Eval(tup)
+		}()
+	}
+}
+
+func TestCompoundPredicates(t *testing.T) {
+	tup := relation.NewTuple(relation.Int(5), relation.Int(10), relation.Str("x"))
+	isFive := ColConst{Col: "a", Op: EQ, Val: relation.Int(5)}
+	isBig := ColConst{Col: "b", Op: GT, Val: relation.Int(100)}
+	and := bindOK(t, And{Terms: []Predicate{isFive, isBig}})
+	or := bindOK(t, Or{Terms: []Predicate{isFive, isBig}})
+	not := bindOK(t, Not{Term: isBig})
+	tr := bindOK(t, True{})
+	if and.Eval(tup) {
+		t.Error("AND should be false")
+	}
+	if !or.Eval(tup) {
+		t.Error("OR should be true")
+	}
+	if !not.Eval(tup) {
+		t.Error("NOT should be true")
+	}
+	if !tr.Eval(tup) {
+		t.Error("TRUE should be true")
+	}
+	if (And{}).Eval(tup) != true {
+		t.Error("empty AND is true")
+	}
+	if (Or{}).Eval(tup) != false {
+		t.Error("empty OR is false")
+	}
+}
+
+func TestPredicateStrings(t *testing.T) {
+	cases := []struct {
+		p    Predicate
+		want string
+	}{
+		{True{}, "TRUE"},
+		{ColConst{Col: "a", Op: LE, Val: relation.Int(3)}, "a <= 3"},
+		{ColConst{Col: "s", Op: EQ, Val: relation.Str("v")}, "s = 'v'"},
+		{ColCol{Left: "a", Op: NE, Right: "b"}, "a <> b"},
+		{Not{Term: True{}}, "NOT TRUE"},
+		{And{Terms: []Predicate{True{}, True{}}}, "(TRUE AND TRUE)"},
+		{Or{Terms: []Predicate{True{}, True{}}}, "(TRUE OR TRUE)"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+	ops := []CmpOp{EQ, NE, LT, LE, GT, GE}
+	wants := []string{"=", "<>", "<", "<=", ">", ">="}
+	for i, op := range ops {
+		if op.String() != wants[i] {
+			t.Errorf("op %d string = %q", i, op.String())
+		}
+	}
+}
+
+// Property: De Morgan — NOT(x AND y) == (NOT x) OR (NOT y) over random
+// integer thresholds.
+func TestDeMorganProperty(t *testing.T) {
+	f := func(av, bv, ta, tb int64) bool {
+		tup := relation.NewTuple(relation.Int(av), relation.Int(bv), relation.Str(""))
+		x := ColConst{Col: "a", Op: LT, Val: relation.Int(ta)}
+		y := ColConst{Col: "b", Op: GE, Val: relation.Int(tb)}
+		lhs, err := (Not{Term: And{Terms: []Predicate{x, y}}}).Bind(exprSchema)
+		if err != nil {
+			return false
+		}
+		rhs, err := (Or{Terms: []Predicate{Not{Term: x}, Not{Term: y}}}).Bind(exprSchema)
+		if err != nil {
+			return false
+		}
+		return lhs.Eval(tup) == rhs.Eval(tup)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,291 @@
+package lera
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dbs3/internal/relation"
+)
+
+// Plan graphs serialize to JSON so compiled plans can be stored, shipped to
+// workers, or diffed in tests (the EDS project compiled Lera-par for a
+// shared-nothing machine; a wire form is part of being a compiler target).
+// Predicates are polymorphic and use a tagged-union encoding; only unbound
+// plans round-trip (binding is repeated against the local catalog).
+
+type jsonValue struct {
+	Int *int64  `json:"int,omitempty"`
+	Str *string `json:"str,omitempty"`
+}
+
+func encodeValue(v relation.Value) jsonValue {
+	if v.Kind() == relation.TInt {
+		i := v.AsInt()
+		return jsonValue{Int: &i}
+	}
+	s := v.AsString()
+	return jsonValue{Str: &s}
+}
+
+func (jv jsonValue) decode() (relation.Value, error) {
+	switch {
+	case jv.Int != nil && jv.Str == nil:
+		return relation.Int(*jv.Int), nil
+	case jv.Str != nil && jv.Int == nil:
+		return relation.Str(*jv.Str), nil
+	default:
+		return relation.Value{}, fmt.Errorf("lera: value needs exactly one of int/str")
+	}
+}
+
+type jsonPred struct {
+	Type  string      `json:"type"`
+	Col   string      `json:"col,omitempty"`
+	Left  string      `json:"left,omitempty"`
+	Right string      `json:"right,omitempty"`
+	Op    string      `json:"op,omitempty"`
+	Val   *jsonValue  `json:"val,omitempty"`
+	Terms []*jsonPred `json:"terms,omitempty"`
+	Term  *jsonPred   `json:"term,omitempty"`
+}
+
+var opNames = map[CmpOp]string{EQ: "=", NE: "<>", LT: "<", LE: "<=", GT: ">", GE: ">="}
+
+func opFromName(s string) (CmpOp, error) {
+	for op, name := range opNames {
+		if name == s {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("lera: unknown comparison operator %q", s)
+}
+
+func encodePred(p Predicate) (*jsonPred, error) {
+	switch t := p.(type) {
+	case nil:
+		return nil, nil
+	case True:
+		return &jsonPred{Type: "true"}, nil
+	case ColConst:
+		v := encodeValue(t.Val)
+		return &jsonPred{Type: "colconst", Col: t.Col, Op: opNames[t.Op], Val: &v}, nil
+	case ColCol:
+		return &jsonPred{Type: "colcol", Left: t.Left, Op: opNames[t.Op], Right: t.Right}, nil
+	case And:
+		out := &jsonPred{Type: "and"}
+		for _, term := range t.Terms {
+			e, err := encodePred(term)
+			if err != nil {
+				return nil, err
+			}
+			out.Terms = append(out.Terms, e)
+		}
+		return out, nil
+	case Or:
+		out := &jsonPred{Type: "or"}
+		for _, term := range t.Terms {
+			e, err := encodePred(term)
+			if err != nil {
+				return nil, err
+			}
+			out.Terms = append(out.Terms, e)
+		}
+		return out, nil
+	case Not:
+		e, err := encodePred(t.Term)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonPred{Type: "not", Term: e}, nil
+	default:
+		return nil, fmt.Errorf("lera: cannot serialize predicate %T (bound predicates do not round-trip)", p)
+	}
+}
+
+func (jp *jsonPred) decode() (Predicate, error) {
+	if jp == nil {
+		return nil, nil
+	}
+	switch jp.Type {
+	case "true":
+		return True{}, nil
+	case "colconst":
+		op, err := opFromName(jp.Op)
+		if err != nil {
+			return nil, err
+		}
+		if jp.Val == nil {
+			return nil, fmt.Errorf("lera: colconst predicate without value")
+		}
+		v, err := jp.Val.decode()
+		if err != nil {
+			return nil, err
+		}
+		return ColConst{Col: jp.Col, Op: op, Val: v}, nil
+	case "colcol":
+		op, err := opFromName(jp.Op)
+		if err != nil {
+			return nil, err
+		}
+		return ColCol{Left: jp.Left, Op: op, Right: jp.Right}, nil
+	case "and", "or":
+		terms := make([]Predicate, len(jp.Terms))
+		for i, t := range jp.Terms {
+			p, err := t.decode()
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = p
+		}
+		if jp.Type == "and" {
+			return And{Terms: terms}, nil
+		}
+		return Or{Terms: terms}, nil
+	case "not":
+		p, err := jp.Term.decode()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Term: p}, nil
+	default:
+		return nil, fmt.Errorf("lera: unknown predicate type %q", jp.Type)
+	}
+}
+
+type jsonNode struct {
+	Name           string    `json:"name"`
+	Kind           string    `json:"kind"`
+	Rel            string    `json:"rel,omitempty"`
+	BuildRel       string    `json:"buildRel,omitempty"`
+	ProbeRel       string    `json:"probeRel,omitempty"`
+	BuildKey       []string  `json:"buildKey,omitempty"`
+	ProbeKey       []string  `json:"probeKey,omitempty"`
+	Algo           string    `json:"algo,omitempty"`
+	Pred           *jsonPred `json:"pred,omitempty"`
+	Cols           []string  `json:"cols,omitempty"`
+	GroupBy        []string  `json:"groupBy,omitempty"`
+	Agg            string    `json:"agg,omitempty"`
+	AggCol         string    `json:"aggCol,omitempty"`
+	As             string    `json:"as,omitempty"`
+	DegreeOverride int       `json:"degreeOverride,omitempty"`
+}
+
+type jsonEdge struct {
+	From      int      `json:"from"`
+	To        int      `json:"to"`
+	Route     string   `json:"route"`
+	RouteCols []string `json:"routeCols,omitempty"`
+}
+
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+var kindNames = map[OpKind]string{
+	OpFilter: "filter", OpJoin: "join", OpTransmit: "transmit",
+	OpStore: "store", OpMap: "map", OpAggregate: "aggregate",
+}
+
+var algoNames = map[JoinAlgo]string{NestedLoop: "nested-loop", HashJoin: "hash", TempIndex: "temp-index"}
+
+var aggNames = map[AggKind]string{AggCount: "COUNT", AggSum: "SUM", AggMin: "MIN", AggMax: "MAX"}
+
+func reverse[K comparable, V comparable](m map[K]V, want V) (K, bool) {
+	for k, v := range m {
+		if v == want {
+			return k, true
+		}
+	}
+	var zero K
+	return zero, false
+}
+
+// MarshalGraph serializes an (unbound) plan graph to JSON.
+func MarshalGraph(g *Graph) ([]byte, error) {
+	out := jsonGraph{Nodes: make([]jsonNode, len(g.Nodes)), Edges: make([]jsonEdge, len(g.Edges))}
+	for i, n := range g.Nodes {
+		pred, err := encodePred(n.Pred)
+		if err != nil {
+			return nil, fmt.Errorf("lera: node %s: %w", n.Name, err)
+		}
+		jn := jsonNode{
+			Name: n.Name, Kind: kindNames[n.Kind],
+			Rel: n.Rel, BuildRel: n.BuildRel, ProbeRel: n.ProbeRel,
+			BuildKey: n.BuildKey, ProbeKey: n.ProbeKey,
+			Pred: pred, Cols: n.Cols, GroupBy: n.GroupBy, AggCol: n.AggCol,
+			As: n.As, DegreeOverride: n.DegreeOverride,
+		}
+		if n.Kind == OpJoin {
+			jn.Algo = algoNames[n.Algo]
+		}
+		if n.Kind == OpAggregate {
+			jn.Agg = aggNames[n.Agg]
+		}
+		out.Nodes[i] = jn
+	}
+	for i, e := range g.Edges {
+		route := "same"
+		if e.Route == RouteHash {
+			route = "hash"
+		}
+		out.Edges[i] = jsonEdge{From: e.From, To: e.To, Route: route, RouteCols: e.RouteCols}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalGraph parses a plan graph from JSON. The result must still be
+// bound against a resolver before execution.
+func UnmarshalGraph(data []byte) (*Graph, error) {
+	var in jsonGraph
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("lera: %w", err)
+	}
+	g := NewGraph()
+	for _, jn := range in.Nodes {
+		kind, ok := reverse(kindNames, jn.Kind)
+		if !ok {
+			return nil, fmt.Errorf("lera: unknown node kind %q", jn.Kind)
+		}
+		pred, err := jn.Pred.decode()
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{
+			Name: jn.Name, Kind: kind,
+			Rel: jn.Rel, BuildRel: jn.BuildRel, ProbeRel: jn.ProbeRel,
+			BuildKey: jn.BuildKey, ProbeKey: jn.ProbeKey,
+			Pred: pred, Cols: jn.Cols, GroupBy: jn.GroupBy, AggCol: jn.AggCol,
+			As: jn.As, DegreeOverride: jn.DegreeOverride,
+		}
+		if kind == OpJoin {
+			algo, ok := reverse(algoNames, jn.Algo)
+			if !ok {
+				return nil, fmt.Errorf("lera: unknown join algorithm %q", jn.Algo)
+			}
+			n.Algo = algo
+		}
+		if kind == OpAggregate {
+			agg, ok := reverse(aggNames, jn.Agg)
+			if !ok {
+				return nil, fmt.Errorf("lera: unknown aggregate %q", jn.Agg)
+			}
+			n.Agg = agg
+		}
+		g.add(n)
+	}
+	for _, je := range in.Edges {
+		if je.From < 0 || je.From >= len(g.Nodes) || je.To < 0 || je.To >= len(g.Nodes) {
+			return nil, fmt.Errorf("lera: edge %d->%d out of range", je.From, je.To)
+		}
+		switch je.Route {
+		case "same":
+			g.ConnectSame(g.Nodes[je.From], g.Nodes[je.To])
+		case "hash":
+			g.ConnectHash(g.Nodes[je.From], g.Nodes[je.To], je.RouteCols)
+		default:
+			return nil, fmt.Errorf("lera: unknown route kind %q", je.Route)
+		}
+	}
+	return g, nil
+}

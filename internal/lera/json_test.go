@@ -1,0 +1,162 @@
+package lera
+
+import (
+	"strings"
+	"testing"
+
+	"dbs3/internal/relation"
+)
+
+func complexGraph() *Graph {
+	g := NewGraph()
+	f := g.Filter("f", "A", And{Terms: []Predicate{
+		ColConst{Col: "unique1", Op: LT, Val: relation.Int(100)},
+		Or{Terms: []Predicate{
+			Not{Term: ColConst{Col: "stringu1", Op: EQ, Val: relation.Str("x")}},
+			ColCol{Left: "unique1", Op: LE, Right: "unique2"},
+			True{},
+		}},
+	}})
+	s1 := g.Store("s1", "T1")
+	g.ConnectSame(f, s1)
+	tr := g.Transmit("t", "T1")
+	j := g.JoinPipelined("j", "B", []string{"unique2"}, []string{"unique2"}, TempIndex)
+	m := g.Map("m", []string{"unique2"})
+	a := g.Aggregate("agg", []string{"unique2"}, AggSum, "unique2")
+	s2 := g.Store("s2", "Res")
+	g.ConnectHash(tr, j, []string{"unique2"})
+	g.ConnectSame(j, m)
+	g.ConnectHash(m, a, []string{"unique2"})
+	g.ConnectSame(a, s2)
+	return g
+}
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	g := complexGraph()
+	data, err := MarshalGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalGraph(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	if len(back.Nodes) != len(g.Nodes) || len(back.Edges) != len(g.Edges) {
+		t.Fatalf("shape changed: %d/%d nodes, %d/%d edges", len(back.Nodes), len(g.Nodes), len(back.Edges), len(g.Edges))
+	}
+	// Marshal again: byte-identical (canonical form).
+	data2, err := MarshalGraph(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("round trip not canonical:\n%s\nvs\n%s", data, data2)
+	}
+	for i, n := range g.Nodes {
+		b := back.Nodes[i]
+		if n.Kind != b.Kind || n.Name != b.Name || n.Rel != b.Rel || n.As != b.As || n.Algo != b.Algo || n.Agg != b.Agg {
+			t.Errorf("node %d differs: %+v vs %+v", i, n, b)
+		}
+		if (n.Pred == nil) != (b.Pred == nil) {
+			t.Errorf("node %d predicate presence differs", i)
+		}
+		if n.Pred != nil && n.Pred.String() != b.Pred.String() {
+			t.Errorf("node %d predicate %q -> %q", i, n.Pred.String(), b.Pred.String())
+		}
+	}
+	for i, e := range g.Edges {
+		b := back.Edges[i]
+		if e.From != b.From || e.To != b.To || e.Route != b.Route {
+			t.Errorf("edge %d differs", i)
+		}
+	}
+}
+
+func TestGraphJSONBindsIdentically(t *testing.T) {
+	// A deserialized plan must bind and validate like the original.
+	g := NewGraph()
+	j := g.JoinBound("join", "A", "B", []string{"unique2"}, []string{"unique2"}, HashJoin)
+	g.ConnectSame(j, g.Store("store", "Res"))
+	data, err := MarshalGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalGraph(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := wiscResolver(t, 8)
+	p1, err := Bind(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Bind(back, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Nodes[0].Degree != p2.Nodes[0].Degree {
+		t.Error("bound degrees differ")
+	}
+	if !p1.Nodes[0].OutSchema.Equal(p2.Nodes[0].OutSchema) {
+		t.Error("bound schemas differ")
+	}
+}
+
+func TestGraphJSONErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"nodes":[{"name":"x","kind":"bogus"}]}`,
+		`{"nodes":[{"name":"j","kind":"join","algo":"bogus"}]}`,
+		`{"nodes":[{"name":"a","kind":"aggregate","agg":"bogus"}]}`,
+		`{"nodes":[{"name":"f","kind":"filter","pred":{"type":"bogus"}}]}`,
+		`{"nodes":[{"name":"f","kind":"filter","pred":{"type":"colconst","col":"c","op":"!!","val":{"int":1}}}]}`,
+		`{"nodes":[{"name":"f","kind":"filter","pred":{"type":"colconst","col":"c","op":"="}}]}`,
+		`{"nodes":[{"name":"f","kind":"filter","pred":{"type":"colconst","col":"c","op":"=","val":{}}}]}`,
+		`{"nodes":[{"name":"f","kind":"filter","pred":{"type":"colconst","col":"c","op":"=","val":{"int":1,"str":"x"}}}]}`,
+		`{"nodes":[{"name":"a","kind":"filter"}],"edges":[{"from":0,"to":5,"route":"same"}]}`,
+		`{"nodes":[{"name":"a","kind":"filter"},{"name":"b","kind":"store"}],"edges":[{"from":0,"to":1,"route":"bogus"}]}`,
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalGraph([]byte(c)); err == nil {
+			t.Errorf("UnmarshalGraph(%q) should fail", c)
+		}
+	}
+}
+
+func TestMarshalRejectsBoundPredicates(t *testing.T) {
+	g := NewGraph()
+	pred, err := (ColConst{Col: "unique1", Op: EQ, Val: relation.Int(1)}).Bind(relation.WisconsinSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bound ColConst is still a ColConst value, which serializes fine; the
+	// unsupported case is a custom predicate type.
+	g.Filter("f", "A", pred)
+	if _, err := MarshalGraph(g); err != nil {
+		t.Errorf("bound ColConst should still serialize: %v", err)
+	}
+	g2 := NewGraph()
+	g2.Filter("f", "A", customPred{})
+	if _, err := MarshalGraph(g2); err == nil {
+		t.Error("unknown predicate type accepted")
+	}
+}
+
+type customPred struct{}
+
+func (customPred) Eval(relation.Tuple) bool                 { return true }
+func (customPred) Bind(*relation.Schema) (Predicate, error) { return customPred{}, nil }
+func (customPred) String() string                           { return "custom" }
+
+func TestGraphJSONHumanReadable(t *testing.T) {
+	g := complexGraph()
+	data, err := MarshalGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"kind": "join"`, `"route": "hash"`, `"type": "and"`, `"algo": "temp-index"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("serialized plan missing %q:\n%s", want, data)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+// Package operator implements the sequential relational operators that
+// Lera-par nodes execute. Each operator processes *activations* — a trigger
+// (process my bound fragment) or a tuple (process one pipelined tuple) — and
+// emits result tuples downstream. The execution engine (package core) owns
+// queues, threads and routing; operators only see their instance context and
+// an emit callback, which is what makes any pool thread able to execute any
+// instance's activation (§3).
+package operator
+
+import (
+	"sort"
+	"sync"
+
+	"dbs3/internal/lera"
+	"dbs3/internal/relation"
+)
+
+// Emit sends one result tuple downstream. The engine routes it to the right
+// consumer instance(s); Emit may block on queue backpressure.
+type Emit func(t relation.Tuple)
+
+// Context is the per-instance execution context. Fragments are immutable
+// during execution; State is operator-private per-instance state, prepared
+// by Setup (the engine guarantees Setup runs exactly once per instance,
+// before any activation).
+type Context struct {
+	// Instance is the operator instance index (= fragment index).
+	Instance int
+	// Input is the bound fragment of filter/transmit instances.
+	Input []relation.Tuple
+	// Build and Probe are the bound fragments of join instances; Probe is
+	// nil for pipelined joins.
+	Build, Probe []relation.Tuple
+	// State is operator-private; set by Setup.
+	State any
+	// Mu guards State for operators that mutate it per-tuple (aggregates):
+	// the execution model lets any pool thread process any instance's
+	// activation, so two threads can be inside the same instance at once.
+	Mu sync.Mutex
+}
+
+// Operator is the sequential logic of one Lera-par node.
+type Operator interface {
+	// Setup prepares per-instance state (e.g. builds a hash table on the
+	// build fragment). Runs once per instance.
+	Setup(ctx *Context) error
+	// OnTrigger processes a control activation (triggered operations).
+	OnTrigger(ctx *Context, emit Emit) error
+	// OnTuple processes one pipelined tuple (pipelined operations).
+	OnTuple(ctx *Context, t relation.Tuple, emit Emit) error
+	// OnClose runs after the instance's last activation completed (the
+	// engine guarantees exactly-once, after-everything ordering). Operators
+	// with buffered state (aggregates) emit it here.
+	OnClose(ctx *Context, emit Emit) error
+}
+
+// nopClose is embedded by operators with nothing to flush.
+type nopClose struct{}
+
+func (nopClose) OnClose(*Context, Emit) error { return nil }
+
+// nopSetup is embedded by operators with no per-instance state.
+type nopSetup struct{}
+
+func (nopSetup) Setup(*Context) error { return nil }
+
+// errNoTrigger panics for pipelined-only operators receiving triggers; the
+// planner prevents this, so it is an engine bug, not a user error.
+func errNoTrigger(name string) error {
+	panic("operator: " + name + " received a trigger; plan binding should have prevented this")
+}
+
+// Filter scans its bound fragment and emits tuples satisfying the bound
+// predicate. Triggered: one activation processes the whole fragment, which
+// is the paper's "coarse grain" unit of work.
+type Filter struct {
+	nopSetup
+	nopClose
+	Pred lera.Predicate
+}
+
+// OnTrigger implements Operator.
+func (f *Filter) OnTrigger(ctx *Context, emit Emit) error {
+	for _, t := range ctx.Input {
+		if f.Pred.Eval(t) {
+			emit(t)
+		}
+	}
+	return nil
+}
+
+// OnTuple implements Operator: a pipelined filter applies the predicate to
+// the redistributed stream (used for residual predicates after joins).
+func (f *Filter) OnTuple(_ *Context, t relation.Tuple, emit Emit) error {
+	if f.Pred.Eval(t) {
+		emit(t)
+	}
+	return nil
+}
+
+// Transmit forwards tuples downstream; redistribution happens on the edge
+// (the engine routes each emitted tuple by hash). Bound transmits are
+// triggered and read their fragment; pipelined transmits re-route a stream.
+type Transmit struct {
+	nopSetup
+	nopClose
+}
+
+// OnTrigger implements Operator.
+func (tr *Transmit) OnTrigger(ctx *Context, emit Emit) error {
+	for _, t := range ctx.Input {
+		emit(t)
+	}
+	return nil
+}
+
+// OnTuple implements Operator.
+func (tr *Transmit) OnTuple(_ *Context, t relation.Tuple, emit Emit) error {
+	emit(t)
+	return nil
+}
+
+// Map projects tuples onto a column subset.
+type Map struct {
+	nopSetup
+	nopClose
+	Cols []int
+}
+
+// OnTrigger implements Operator.
+func (m *Map) OnTrigger(*Context, Emit) error { return errNoTrigger("map") }
+
+// OnTuple implements Operator.
+func (m *Map) OnTuple(_ *Context, t relation.Tuple, emit Emit) error {
+	emit(t.Project(m.Cols))
+	return nil
+}
+
+// Store materializes its input: tuples accumulate per instance and the
+// engine collects Results when the operation completes. Store terminates a
+// pipeline chain (a materialization point between subqueries).
+type Store struct {
+	nopSetup
+	nopClose
+	mu      sync.Mutex
+	results [][]relation.Tuple
+}
+
+// NewStore creates a store with the given instance count.
+func NewStore(degree int) *Store {
+	return &Store{results: make([][]relation.Tuple, degree)}
+}
+
+// OnTrigger implements Operator.
+func (s *Store) OnTrigger(*Context, Emit) error { return errNoTrigger("store") }
+
+// OnTuple implements Operator.
+func (s *Store) OnTuple(ctx *Context, t relation.Tuple, _ Emit) error {
+	s.mu.Lock()
+	s.results[ctx.Instance] = append(s.results[ctx.Instance], t)
+	s.mu.Unlock()
+	return nil
+}
+
+// Results returns the materialized fragments. Call only after execution
+// completes.
+func (s *Store) Results() [][]relation.Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.results
+}
+
+// keyOf renders the projected key columns as a canonical map key.
+func keyOf(t relation.Tuple, cols []int) string {
+	return t.Project(cols).Key()
+}
+
+// buildIndex is the per-instance state of hash and temp-index joins.
+type buildIndex struct {
+	// hash groups build tuples by join key (HashJoin).
+	hash map[string][]relation.Tuple
+	// sorted holds build tuples ordered by key with a parallel key slice
+	// for binary search (TempIndex — DBS3 "builds indexes on the fly").
+	sortedKeys []string
+	sorted     []relation.Tuple
+}
+
+// Join implements the three join algorithms over equi-join keys. The build
+// side is always a bound fragment; the probe side is either the bound Probe
+// fragment (triggered, the paper's IdealJoin) or the pipelined input (the
+// paper's AssocJoin).
+type Join struct {
+	Algo     lera.JoinAlgo
+	BuildKey []int
+	ProbeKey []int
+}
+
+// Setup implements Operator: builds the hash table or temporary index.
+func (j *Join) Setup(ctx *Context) error {
+	switch j.Algo {
+	case lera.NestedLoop:
+		// No auxiliary structure: probing scans the fragment.
+	case lera.HashJoin:
+		idx := &buildIndex{hash: make(map[string][]relation.Tuple, len(ctx.Build))}
+		for _, b := range ctx.Build {
+			k := keyOf(b, j.BuildKey)
+			idx.hash[k] = append(idx.hash[k], b)
+		}
+		ctx.State = idx
+	case lera.TempIndex:
+		idx := &buildIndex{
+			sortedKeys: make([]string, len(ctx.Build)),
+			sorted:     append([]relation.Tuple(nil), ctx.Build...),
+		}
+		sort.Slice(idx.sorted, func(a, b int) bool {
+			return keyOf(idx.sorted[a], j.BuildKey) < keyOf(idx.sorted[b], j.BuildKey)
+		})
+		for i, b := range idx.sorted {
+			idx.sortedKeys[i] = keyOf(b, j.BuildKey)
+		}
+		ctx.State = idx
+	}
+	return nil
+}
+
+// probe emits build⨝probe concatenations for one probe tuple.
+func (j *Join) probe(ctx *Context, t relation.Tuple, emit Emit) {
+	switch j.Algo {
+	case lera.NestedLoop:
+		for _, b := range ctx.Build {
+			if joinKeysEqual(b, t, j.BuildKey, j.ProbeKey) {
+				emit(b.Concat(t))
+			}
+		}
+	case lera.HashJoin:
+		idx := ctx.State.(*buildIndex)
+		for _, b := range idx.hash[keyOf(t, j.ProbeKey)] {
+			emit(b.Concat(t))
+		}
+	case lera.TempIndex:
+		idx := ctx.State.(*buildIndex)
+		k := keyOf(t, j.ProbeKey)
+		i := sort.SearchStrings(idx.sortedKeys, k)
+		for ; i < len(idx.sortedKeys) && idx.sortedKeys[i] == k; i++ {
+			emit(idx.sorted[i].Concat(t))
+		}
+	}
+}
+
+func joinKeysEqual(b, p relation.Tuple, bk, pk []int) bool {
+	for i := range bk {
+		if !b[bk[i]].Equal(p[pk[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// OnTrigger implements Operator: the triggered join processes its whole
+// bound probe fragment as one sequential unit of work.
+func (j *Join) OnTrigger(ctx *Context, emit Emit) error {
+	for _, t := range ctx.Probe {
+		j.probe(ctx, t, emit)
+	}
+	return nil
+}
+
+// OnTuple implements Operator: the pipelined join probes one redistributed
+// tuple (a fine-grain unit of work).
+func (j *Join) OnTuple(ctx *Context, t relation.Tuple, emit Emit) error {
+	j.probe(ctx, t, emit)
+	return nil
+}
+
+// OnClose implements Operator.
+func (j *Join) OnClose(*Context, Emit) error { return nil }
+
+// aggState is one group's accumulator.
+type aggState struct {
+	group relation.Tuple
+	count int64
+	sum   int64
+	min   relation.Value
+	max   relation.Value
+	seen  bool
+}
+
+// Aggregate groups pipelined tuples and emits one result per group on close.
+// Groups must be routed so a group lands on exactly one instance (the plan
+// validator enforces hash routing on the group key).
+type Aggregate struct {
+	GroupBy []int
+	Kind    lera.AggKind
+	AggCol  int // -1 for COUNT
+}
+
+// Setup implements Operator.
+func (a *Aggregate) Setup(ctx *Context) error {
+	ctx.State = make(map[string]*aggState)
+	return nil
+}
+
+// OnTrigger implements Operator.
+func (a *Aggregate) OnTrigger(*Context, Emit) error { return errNoTrigger("aggregate") }
+
+// OnTuple implements Operator.
+func (a *Aggregate) OnTuple(ctx *Context, t relation.Tuple, _ Emit) error {
+	key := keyOf(t, a.GroupBy)
+	ctx.Mu.Lock()
+	defer ctx.Mu.Unlock()
+	groups := ctx.State.(map[string]*aggState)
+	st, ok := groups[key]
+	if !ok {
+		st = &aggState{group: t.Project(a.GroupBy)}
+		groups[key] = st
+	}
+	st.count++
+	if a.AggCol >= 0 {
+		v := t[a.AggCol]
+		switch a.Kind {
+		case lera.AggSum:
+			st.sum += v.AsInt()
+		case lera.AggMin:
+			if !st.seen || v.Compare(st.min) < 0 {
+				st.min = v
+			}
+		case lera.AggMax:
+			if !st.seen || v.Compare(st.max) > 0 {
+				st.max = v
+			}
+		}
+		st.seen = true
+	}
+	return nil
+}
+
+// OnClose implements Operator: emits one tuple per group.
+func (a *Aggregate) OnClose(ctx *Context, emit Emit) error {
+	ctx.Mu.Lock()
+	groups := ctx.State.(map[string]*aggState)
+	out := make([]relation.Tuple, 0, len(groups))
+	for _, st := range groups {
+		var v relation.Value
+		switch a.Kind {
+		case lera.AggCount:
+			v = relation.Int(st.count)
+		case lera.AggSum:
+			v = relation.Int(st.sum)
+		case lera.AggMin:
+			v = st.min
+		case lera.AggMax:
+			v = st.max
+		}
+		out = append(out, st.group.Concat(relation.Tuple{v}))
+	}
+	ctx.Mu.Unlock()
+	// Deterministic emission order helps tests; sort by group key.
+	sort.Slice(out, func(i, k int) bool { return out[i].Key() < out[k].Key() })
+	for _, t := range out {
+		emit(t)
+	}
+	return nil
+}

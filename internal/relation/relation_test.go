@@ -1,0 +1,83 @@
+package relation
+
+import "testing"
+
+func smallRel(t *testing.T) *Relation {
+	t.Helper()
+	s := MustSchema(Column{"id", TInt}, Column{"name", TString})
+	r := New("people", s)
+	r.MustAppend(
+		NewTuple(Int(1), Str("ann")),
+		NewTuple(Int(2), Str("bob")),
+		NewTuple(Int(3), Str("eve")),
+	)
+	return r
+}
+
+func TestRelationAppendArity(t *testing.T) {
+	r := smallRel(t)
+	if err := r.Append(NewTuple(Int(4))); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	mustPanic(t, func() { r.MustAppend(NewTuple(Int(4))) })
+	if r.Cardinality() != 3 {
+		t.Errorf("Cardinality = %d, want 3", r.Cardinality())
+	}
+}
+
+func TestRelationClone(t *testing.T) {
+	r := smallRel(t)
+	c := r.Clone()
+	c.MustAppend(NewTuple(Int(4), Str("dan")))
+	if r.Cardinality() != 3 || c.Cardinality() != 4 {
+		t.Error("Clone shares tuple slice")
+	}
+}
+
+func TestEqualMultiset(t *testing.T) {
+	r := smallRel(t)
+	o := r.Clone()
+	// Reorder o.
+	o.Tuples[0], o.Tuples[2] = o.Tuples[2], o.Tuples[0]
+	if !r.EqualMultiset(o) {
+		t.Error("reordered relation should be multiset-equal")
+	}
+	o.Tuples[0] = NewTuple(Int(9), Str("zed"))
+	if r.EqualMultiset(o) {
+		t.Error("different contents reported equal")
+	}
+	short := New("s", r.Schema)
+	if r.EqualMultiset(short) {
+		t.Error("different cardinalities reported equal")
+	}
+}
+
+func TestEqualMultisetDuplicates(t *testing.T) {
+	s := MustSchema(Column{"x", TInt})
+	a := New("a", s)
+	a.MustAppend(NewTuple(Int(1)), NewTuple(Int(1)), NewTuple(Int(2)))
+	b := New("b", s)
+	b.MustAppend(NewTuple(Int(1)), NewTuple(Int(2)), NewTuple(Int(2)))
+	if a.EqualMultiset(b) {
+		t.Error("multiplicity mismatch reported equal")
+	}
+}
+
+func TestSortByKey(t *testing.T) {
+	s := MustSchema(Column{"x", TInt})
+	r := New("r", s)
+	r.MustAppend(NewTuple(Int(3)), NewTuple(Int(1)), NewTuple(Int(2)))
+	r.SortByKey()
+	// Keys sort lexically; 1 < 2 < 3 as strings here.
+	if r.Tuples[0][0].AsInt() != 1 || r.Tuples[2][0].AsInt() != 3 {
+		t.Errorf("SortByKey order = %v", r.Tuples)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	r := smallRel(t)
+	want := "people(id INT, name STRING) [3 tuples]"
+	if r.String() != want {
+		t.Errorf("String = %q, want %q", r.String(), want)
+	}
+}

@@ -1,0 +1,120 @@
+package relation
+
+import "fmt"
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of named, typed columns. Schemas are immutable
+// after construction; all lookup methods are safe for concurrent use.
+type Schema struct {
+	cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema from columns. Duplicate column names are
+// rejected because the hash partitioner and join operators address columns
+// by name.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{cols: append([]Column(nil), cols...), byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("relation: column %d has empty name", i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate column %q", c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for statically known schemas
+// such as the Wisconsin benchmark.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Column returns the i-th column.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Index returns the position of the named column and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// MustIndex returns the position of the named column, panicking if absent.
+// Plans are validated before execution so a miss here is a programming error.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("relation: no column %q", name))
+	}
+	return i
+}
+
+// Concat returns a new schema with the columns of s followed by those of o.
+// Name collisions are disambiguated with the given prefixes (e.g. "a.", "b.")
+// applied only to colliding names, mirroring how the join operator builds its
+// output schema.
+func (s *Schema) Concat(o *Schema, leftPrefix, rightPrefix string) *Schema {
+	out := make([]Column, 0, len(s.cols)+len(o.cols))
+	collide := make(map[string]bool)
+	for _, c := range s.cols {
+		if _, ok := o.byName[c.Name]; ok {
+			collide[c.Name] = true
+		}
+	}
+	for _, c := range s.cols {
+		if collide[c.Name] {
+			c.Name = leftPrefix + c.Name
+		}
+		out = append(out, c)
+	}
+	for _, c := range o.cols {
+		if collide[c.Name] {
+			c.Name = rightPrefix + c.Name
+		}
+		out = append(out, c)
+	}
+	return MustSchema(out...)
+}
+
+// Equal reports whether two schemas have identical column lists.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.cols) != len(o.cols) {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(name TYPE, ...)".
+func (s *Schema) String() string {
+	out := "("
+	for i, c := range s.cols {
+		if i > 0 {
+			out += ", "
+		}
+		out += c.Name + " " + c.Type.String()
+	}
+	return out + ")"
+}

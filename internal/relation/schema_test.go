@@ -1,0 +1,93 @@
+package relation
+
+import "testing"
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(Column{"id", TInt}, Column{"name", TString}, Column{"age", TInt})
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema(t)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if s.Column(1).Name != "name" || s.Column(1).Type != TString {
+		t.Errorf("Column(1) = %+v", s.Column(1))
+	}
+	i, ok := s.Index("age")
+	if !ok || i != 2 {
+		t.Errorf("Index(age) = %d,%v", i, ok)
+	}
+	if _, ok := s.Index("absent"); ok {
+		t.Error("Index(absent) should miss")
+	}
+	if s.MustIndex("id") != 0 {
+		t.Error("MustIndex(id) != 0")
+	}
+	mustPanic(t, func() { s.MustIndex("absent") })
+}
+
+func TestSchemaDuplicateRejected(t *testing.T) {
+	if _, err := NewSchema(Column{"a", TInt}, Column{"a", TInt}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := NewSchema(Column{"", TInt}); err == nil {
+		t.Error("empty column name accepted")
+	}
+	mustPanic(t, func() { MustSchema(Column{"a", TInt}, Column{"a", TInt}) })
+}
+
+func TestSchemaColumnsCopy(t *testing.T) {
+	s := testSchema(t)
+	cols := s.Columns()
+	cols[0].Name = "mutated"
+	if s.Column(0).Name != "id" {
+		t.Error("Columns() must return a copy")
+	}
+}
+
+func TestSchemaConcatNoCollision(t *testing.T) {
+	a := MustSchema(Column{"x", TInt})
+	b := MustSchema(Column{"y", TInt})
+	c := a.Concat(b, "a.", "b.")
+	if c.Len() != 2 || c.Column(0).Name != "x" || c.Column(1).Name != "y" {
+		t.Errorf("Concat = %v", c)
+	}
+}
+
+func TestSchemaConcatCollision(t *testing.T) {
+	a := MustSchema(Column{"k", TInt}, Column{"x", TInt})
+	b := MustSchema(Column{"k", TInt}, Column{"y", TInt})
+	c := a.Concat(b, "a.", "b.")
+	want := []string{"a.k", "x", "b.k", "y"}
+	for i, w := range want {
+		if c.Column(i).Name != w {
+			t.Errorf("column %d = %q, want %q", i, c.Column(i).Name, w)
+		}
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := MustSchema(Column{"x", TInt})
+	b := MustSchema(Column{"x", TInt})
+	c := MustSchema(Column{"x", TString})
+	d := MustSchema(Column{"x", TInt}, Column{"y", TInt})
+	if !a.Equal(b) {
+		t.Error("identical schemas not equal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("different schemas reported equal")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema(Column{"id", TInt}, Column{"name", TString})
+	if got := s.String(); got != "(id INT, name STRING)" {
+		t.Errorf("String = %q", got)
+	}
+}

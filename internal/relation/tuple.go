@@ -1,0 +1,88 @@
+package relation
+
+import "strings"
+
+// Tuple is one row: a flat slice of values positionally matching a schema.
+// Tuples are treated as immutable by the engine; operators build new tuples
+// rather than mutating inputs, so a tuple may be shared freely between
+// operator instances and threads.
+type Tuple []Value
+
+// NewTuple builds a tuple from values.
+func NewTuple(vals ...Value) Tuple { return Tuple(vals) }
+
+// Equal reports whether two tuples are identical value-by-value.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// HashOn hashes the tuple on the given column positions. It is the basis of
+// both static hash partitioning and dynamic redistribution (the transmit
+// operator), so the same key always routes to the same fragment.
+func (t Tuple) HashOn(cols []int) uint64 {
+	// Combine per-column hashes with the FNV-1a folding constant so that
+	// multi-attribute keys mix well.
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, c := range cols {
+		h ^= t[c].Hash()
+		h *= prime
+	}
+	return h
+}
+
+// Project returns a new tuple containing only the given column positions.
+func (t Tuple) Project(cols []int) Tuple {
+	out := make(Tuple, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// Concat returns a new tuple with the values of t followed by those of o;
+// used by join operators to build result tuples.
+func (t Tuple) Concat(o Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(o))
+	out = append(out, t...)
+	out = append(out, o...)
+	return out
+}
+
+// Clone returns a copy of the tuple sharing no backing storage with t.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// String renders the tuple as "[v1 v2 ...]".
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Key renders the tuple as a canonical string; used by tests for multiset
+// comparison of results.
+func (t Tuple) Key() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		if v.Kind() == TInt {
+			parts[i] = "i:" + v.String()
+		} else {
+			parts[i] = "s:" + v.String()
+		}
+	}
+	return strings.Join(parts, "\x1f")
+}

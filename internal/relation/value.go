@@ -1,0 +1,134 @@
+// Package relation provides the data model of the DBS3 reproduction: typed
+// values, schemas, tuples, in-memory relations, and the Wisconsin benchmark
+// generator used throughout the paper's evaluation [Bitton83].
+package relation
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+)
+
+// Type enumerates the value types supported by the engine. The Wisconsin
+// benchmark only needs integers and fixed strings, which is also all the
+// paper's experiments use.
+type Type int
+
+const (
+	// TInt is a 64-bit signed integer.
+	TInt Type = iota
+	// TString is a variable-length string.
+	TString
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TString:
+		return "STRING"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Value is a single typed attribute value. The zero Value is the integer 0.
+// Values are immutable once constructed.
+type Value struct {
+	kind Type
+	i    int64
+	s    string
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{kind: TInt, i: v} }
+
+// Str returns a string Value.
+func Str(v string) Value { return Value{kind: TString, s: v} }
+
+// Kind reports the type of the value.
+func (v Value) Kind() Type { return v.kind }
+
+// AsInt returns the integer payload. It panics if the value is not an
+// integer; engine code always checks schemas before extracting payloads.
+func (v Value) AsInt() int64 {
+	if v.kind != TInt {
+		panic("relation: AsInt on non-integer value")
+	}
+	return v.i
+}
+
+// AsString returns the string payload. It panics if the value is not a
+// string.
+func (v Value) AsString() string {
+	if v.kind != TString {
+		panic("relation: AsString on non-string value")
+	}
+	return v.s
+}
+
+// Equal reports whether two values have the same type and payload.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	if v.kind == TInt {
+		return v.i == o.i
+	}
+	return v.s == o.s
+}
+
+// Compare orders values of the same type: -1 if v < o, 0 if equal, +1 if
+// v > o. Comparing values of different types panics; plans are type-checked
+// before execution.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		panic("relation: comparing values of different types")
+	}
+	switch v.kind {
+	case TInt:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		switch {
+		case v.s < o.s:
+			return -1
+		case v.s > o.s:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// Hash returns a stable FNV-1a hash of the value, used by the hash
+// partitioner and the hash join. The hash is independent of process and run.
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	if v.kind == TInt {
+		var b [8]byte
+		u := uint64(v.i)
+		for k := 0; k < 8; k++ {
+			b[k] = byte(u >> (8 * k))
+		}
+		h.Write(b[:])
+	} else {
+		h.Write([]byte(v.s))
+	}
+	return h.Sum64()
+}
+
+// String renders the value for debugging and CLI output.
+func (v Value) String() string {
+	if v.kind == TInt {
+		return strconv.FormatInt(v.i, 10)
+	}
+	return v.s
+}

@@ -1,0 +1,125 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	if TInt.String() != "INT" {
+		t.Errorf("TInt.String() = %q, want INT", TInt.String())
+	}
+	if TString.String() != "STRING" {
+		t.Errorf("TString.String() = %q, want STRING", TString.String())
+	}
+	if got := Type(99).String(); got != "Type(99)" {
+		t.Errorf("unknown type string = %q", got)
+	}
+}
+
+func TestIntValue(t *testing.T) {
+	v := Int(42)
+	if v.Kind() != TInt {
+		t.Fatalf("kind = %v, want TInt", v.Kind())
+	}
+	if v.AsInt() != 42 {
+		t.Errorf("AsInt = %d, want 42", v.AsInt())
+	}
+	if v.String() != "42" {
+		t.Errorf("String = %q, want 42", v.String())
+	}
+}
+
+func TestStringValue(t *testing.T) {
+	v := Str("paris")
+	if v.Kind() != TString {
+		t.Fatalf("kind = %v, want TString", v.Kind())
+	}
+	if v.AsString() != "paris" {
+		t.Errorf("AsString = %q", v.AsString())
+	}
+	if v.String() != "paris" {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	mustPanic(t, func() { Int(1).AsString() })
+	mustPanic(t, func() { Str("x").AsInt() })
+	mustPanic(t, func() { Int(1).Compare(Str("x")) })
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Int(1), Str("1"), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if Int(1).Compare(Int(2)) != -1 || Int(2).Compare(Int(1)) != 1 || Int(2).Compare(Int(2)) != 0 {
+		t.Error("integer comparison wrong")
+	}
+	if Str("a").Compare(Str("b")) != -1 || Str("b").Compare(Str("a")) != 1 || Str("a").Compare(Str("a")) != 0 {
+		t.Error("string comparison wrong")
+	}
+}
+
+func TestValueHashStable(t *testing.T) {
+	if Int(7).Hash() != Int(7).Hash() {
+		t.Error("int hash not stable")
+	}
+	if Str("x").Hash() != Str("x").Hash() {
+		t.Error("string hash not stable")
+	}
+	if Int(7).Hash() == Int(8).Hash() {
+		t.Error("distinct ints should almost surely hash differently")
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal for integers.
+func TestValueCompareProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		if va.Compare(vb) != -vb.Compare(va) {
+			return false
+		}
+		return (va.Compare(vb) == 0) == va.Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: equal values hash identically (ints and strings).
+func TestValueHashEqualProperty(t *testing.T) {
+	fi := func(a int64) bool { return Int(a).Hash() == Int(a).Hash() }
+	fs := func(s string) bool { return Str(s).Hash() == Str(s).Hash() }
+	if err := quick.Check(fi, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(fs, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,90 @@
+package storage
+
+import (
+	"testing"
+
+	"dbs3/internal/relation"
+)
+
+func pageWith(t *testing.T, v int64) []byte {
+	t.Helper()
+	p := NewPage()
+	if !p.Insert(relation.NewTuple(relation.Int(v))) {
+		t.Fatal("insert failed")
+	}
+	return p.Bytes()
+}
+
+func TestBufferPoolHitMiss(t *testing.T) {
+	a, _ := NewArray(1)
+	id0, _ := a.Write(0, pageWith(t, 10))
+	id1, _ := a.Write(0, pageWith(t, 20))
+	b, err := NewBufferPool(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get(id0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get(id0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get(id1); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := b.Stats()
+	if hits != 1 || misses != 2 {
+		t.Errorf("stats = %d hits %d misses, want 1/2", hits, misses)
+	}
+	if b.Resident() != 2 {
+		t.Errorf("Resident = %d", b.Resident())
+	}
+}
+
+func TestBufferPoolEvictsLRU(t *testing.T) {
+	a, _ := NewArray(1)
+	ids := make([]PageID, 3)
+	for i := range ids {
+		ids[i], _ = a.Write(0, pageWith(t, int64(i)))
+	}
+	b, _ := NewBufferPool(a, 2)
+	b.Get(ids[0])
+	b.Get(ids[1])
+	b.Get(ids[0]) // 0 now MRU, 1 is LRU
+	b.Get(ids[2]) // must evict 1
+	reads0, _ := a.Disk(0).Stats()
+	b.Get(ids[0]) // hit
+	b.Get(ids[1]) // miss: was evicted
+	reads1, _ := a.Disk(0).Stats()
+	if reads1 != reads0+1 {
+		t.Errorf("expected exactly one extra disk read, got %d", reads1-reads0)
+	}
+	if b.Resident() != 2 {
+		t.Errorf("Resident = %d, want capacity 2", b.Resident())
+	}
+}
+
+func TestBufferPoolContentCorrect(t *testing.T) {
+	a, _ := NewArray(2)
+	id, _ := a.Write(1, pageWith(t, 77))
+	b, _ := NewBufferPool(a, 1)
+	p, err := b.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup, err := p.Tuple(0)
+	if err != nil || tup[0].AsInt() != 77 {
+		t.Errorf("tuple = %v, %v", tup, err)
+	}
+}
+
+func TestBufferPoolErrors(t *testing.T) {
+	a, _ := NewArray(1)
+	if _, err := NewBufferPool(a, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	b, _ := NewBufferPool(a, 1)
+	if _, err := b.Get(PageID{Disk: 0, Slot: 99}); err == nil {
+		t.Error("missing page accepted")
+	}
+}

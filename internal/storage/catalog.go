@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"dbs3/internal/partition"
+	"dbs3/internal/relation"
+)
+
+// StoredRelation is a partitioned relation materialized on the disk array:
+// each fragment is a list of page ids on its (round-robin assigned) disk.
+type StoredRelation struct {
+	Name   string
+	Schema *relation.Schema
+	Key    []string
+	// FragmentPages[i] lists the pages of fragment i in scan order.
+	FragmentPages [][]PageID
+	// FragmentCard[i] caches fragment i's tuple count.
+	FragmentCard []int
+}
+
+// Degree returns the relation's degree of partitioning.
+func (s *StoredRelation) Degree() int { return len(s.FragmentPages) }
+
+// Cardinality returns the total tuple count.
+func (s *StoredRelation) Cardinality() int {
+	n := 0
+	for _, c := range s.FragmentCard {
+		n += c
+	}
+	return n
+}
+
+// Catalog names the stored relations of a database and owns the disk array
+// and buffer pool they live on.
+type Catalog struct {
+	mu        sync.RWMutex
+	array     *Array
+	pool      *BufferPool
+	relations map[string]*StoredRelation
+}
+
+// NewCatalog creates a catalog over numDisks disks with a buffer pool of
+// bufferPages pages.
+func NewCatalog(numDisks, bufferPages int) (*Catalog, error) {
+	array, err := NewArray(numDisks)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := NewBufferPool(array, bufferPages)
+	if err != nil {
+		return nil, err
+	}
+	return &Catalog{array: array, pool: pool, relations: make(map[string]*StoredRelation)}, nil
+}
+
+// Array exposes the underlying disk array (for stats).
+func (c *Catalog) Array() *Array { return c.array }
+
+// Pool exposes the buffer pool (for stats and warming).
+func (c *Catalog) Pool() *BufferPool { return c.pool }
+
+// Store writes a partitioned relation to disk, filling pages fragment by
+// fragment on the fragment's assigned disk.
+func (c *Catalog) Store(p *partition.Partitioned) (*StoredRelation, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.relations[p.Name]; dup {
+		return nil, fmt.Errorf("storage: relation %q already stored", p.Name)
+	}
+	sr := &StoredRelation{
+		Name:          p.Name,
+		Schema:        p.Schema,
+		Key:           append([]string(nil), p.Key...),
+		FragmentPages: make([][]PageID, p.Degree()),
+		FragmentCard:  make([]int, p.Degree()),
+	}
+	for i, frag := range p.Fragments {
+		disk := p.Disk[i] % c.array.Len()
+		page := NewPage()
+		flush := func() error {
+			if page.Count() == 0 {
+				return nil
+			}
+			id, err := c.array.Write(disk, page.Bytes())
+			if err != nil {
+				return err
+			}
+			sr.FragmentPages[i] = append(sr.FragmentPages[i], id)
+			page = NewPage()
+			return nil
+		}
+		for _, t := range frag {
+			if !page.Insert(t) {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+				if !page.Insert(t) {
+					return nil, fmt.Errorf("storage: tuple of %d bytes exceeds page size", EncodedSize(t))
+				}
+			}
+			sr.FragmentCard[i]++
+		}
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+	c.relations[p.Name] = sr
+	return sr, nil
+}
+
+// Lookup returns the named stored relation.
+func (c *Catalog) Lookup(name string) (*StoredRelation, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sr, ok := c.relations[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: no relation %q in catalog", name)
+	}
+	return sr, nil
+}
+
+// Names lists the stored relation names (unordered).
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.relations))
+	for n := range c.relations {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ScanFragment reads fragment frag of the stored relation through the buffer
+// pool and returns its tuples in page order.
+func (c *Catalog) ScanFragment(sr *StoredRelation, frag int) ([]relation.Tuple, error) {
+	if frag < 0 || frag >= sr.Degree() {
+		return nil, fmt.Errorf("storage: fragment %d out of range [0,%d)", frag, sr.Degree())
+	}
+	out := make([]relation.Tuple, 0, sr.FragmentCard[frag])
+	for _, id := range sr.FragmentPages[frag] {
+		p, err := c.pool.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := p.Tuples()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+// Load reads an entire stored relation back into a partition.Partitioned,
+// which is the in-memory form the execution engine consumes. Experiments
+// call Load once to warm memory, matching the paper's memory-resident runs.
+func (c *Catalog) Load(name string) (*partition.Partitioned, error) {
+	sr, err := c.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	frags := make([][]relation.Tuple, sr.Degree())
+	for i := range frags {
+		ts, err := c.ScanFragment(sr, i)
+		if err != nil {
+			return nil, err
+		}
+		frags[i] = ts
+	}
+	return partition.FromFragments(sr.Name, sr.Schema, sr.Key, frags, c.array.Len())
+}

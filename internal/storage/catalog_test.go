@@ -1,0 +1,144 @@
+package storage
+
+import (
+	"testing"
+
+	"dbs3/internal/partition"
+	"dbs3/internal/relation"
+)
+
+func storedWisconsin(t *testing.T, n, degree, disks int) (*Catalog, *partition.Partitioned) {
+	t.Helper()
+	r := relation.Wisconsin("A", n, 9)
+	h, err := partition.NewHash(r.Schema, []string{"unique2"}, degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Partition(r, h, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCatalog(disks, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Store(p); err != nil {
+		t.Fatal(err)
+	}
+	return c, p
+}
+
+func TestCatalogStoreLoadRoundTrip(t *testing.T) {
+	c, p := storedWisconsin(t, 500, 8, 3)
+	got, err := c.Load("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degree() != 8 {
+		t.Fatalf("Degree = %d", got.Degree())
+	}
+	if !got.Union().EqualMultiset(p.Union()) {
+		t.Error("load differs from stored relation")
+	}
+	// Fragment contents (not just the union) must match exactly.
+	for i := range p.Fragments {
+		if len(got.Fragments[i]) != len(p.Fragments[i]) {
+			t.Fatalf("fragment %d size %d, want %d", i, len(got.Fragments[i]), len(p.Fragments[i]))
+		}
+		for j := range p.Fragments[i] {
+			if !got.Fragments[i][j].Equal(p.Fragments[i][j]) {
+				t.Fatalf("fragment %d tuple %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCatalogFragmentsOnAssignedDisks(t *testing.T) {
+	c, p := storedWisconsin(t, 300, 6, 2)
+	sr, err := c.Lookup("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pages := range sr.FragmentPages {
+		for _, id := range pages {
+			if id.Disk != p.Disk[i] {
+				t.Errorf("fragment %d page on disk %d, want %d", i, id.Disk, p.Disk[i])
+			}
+		}
+	}
+}
+
+func TestCatalogDuplicateAndMissing(t *testing.T) {
+	c, p := storedWisconsin(t, 50, 2, 1)
+	if _, err := c.Store(p); err == nil {
+		t.Error("duplicate store accepted")
+	}
+	if _, err := c.Lookup("absent"); err == nil {
+		t.Error("missing relation lookup accepted")
+	}
+	if _, err := c.Load("absent"); err == nil {
+		t.Error("missing relation load accepted")
+	}
+	names := c.Names()
+	if len(names) != 1 || names[0] != "A" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestCatalogScanFragmentBounds(t *testing.T) {
+	c, _ := storedWisconsin(t, 50, 2, 1)
+	sr, _ := c.Lookup("A")
+	if _, err := c.ScanFragment(sr, -1); err == nil {
+		t.Error("negative fragment accepted")
+	}
+	if _, err := c.ScanFragment(sr, 2); err == nil {
+		t.Error("out-of-range fragment accepted")
+	}
+}
+
+func TestCatalogCardinality(t *testing.T) {
+	c, _ := storedWisconsin(t, 123, 4, 2)
+	sr, _ := c.Lookup("A")
+	if sr.Cardinality() != 123 {
+		t.Errorf("Cardinality = %d", sr.Cardinality())
+	}
+	if sr.Degree() != 4 {
+		t.Errorf("Degree = %d", sr.Degree())
+	}
+}
+
+func TestCatalogMultiPageFragments(t *testing.T) {
+	// Wisconsin tuples are ~220 bytes; 500 tuples in one fragment needs
+	// multiple 8 KB pages.
+	r := relation.Wisconsin("B", 500, 3)
+	p, err := partition.FromFragments("B", r.Schema, nil, [][]relation.Tuple{r.Tuples}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewCatalog(1, 256)
+	sr, err := c.Store(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.FragmentPages[0]) < 2 {
+		t.Fatalf("expected multi-page fragment, got %d pages", len(sr.FragmentPages[0]))
+	}
+	ts, err := c.ScanFragment(sr, 0)
+	if err != nil || len(ts) != 500 {
+		t.Fatalf("scan returned %d tuples, err %v", len(ts), err)
+	}
+	for i := range ts {
+		if !ts[i].Equal(r.Tuples[i]) {
+			t.Fatalf("tuple %d differs after disk round trip", i)
+		}
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	if _, err := NewCatalog(0, 10); err == nil {
+		t.Error("zero disks accepted")
+	}
+	if _, err := NewCatalog(1, 0); err == nil {
+		t.Error("zero buffer accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PageID addresses a page: which disk and which slot on that disk.
+type PageID struct {
+	Disk int
+	Slot int
+}
+
+// String renders the page id as "d<disk>:p<slot>".
+func (id PageID) String() string { return fmt.Sprintf("d%d:p%d", id.Disk, id.Slot) }
+
+// Disk is a simulated disk: an append-only array of page images with read
+// and write counters. Counters let experiments account for sequential-disk
+// behaviour (the paper's KSR1 had a single shared disk, which is why all
+// measurements ran memory-resident).
+type Disk struct {
+	mu     sync.Mutex
+	pages  [][]byte
+	reads  int
+	writes int
+}
+
+// NewDisk returns an empty disk.
+func NewDisk() *Disk { return &Disk{} }
+
+// Append writes a new page to the disk and returns its slot number.
+func (d *Disk) Append(img []byte) (int, error) {
+	if len(img) != PageSize {
+		return 0, fmt.Errorf("storage: page image is %d bytes, want %d", len(img), PageSize)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cp := make([]byte, PageSize)
+	copy(cp, img)
+	d.pages = append(d.pages, cp)
+	d.writes++
+	return len(d.pages) - 1, nil
+}
+
+// Read returns a copy of the page at slot.
+func (d *Disk) Read(slot int) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if slot < 0 || slot >= len(d.pages) {
+		return nil, fmt.Errorf("storage: read of slot %d on disk with %d pages", slot, len(d.pages))
+	}
+	d.reads++
+	cp := make([]byte, PageSize)
+	copy(cp, d.pages[slot])
+	return cp, nil
+}
+
+// Pages returns the number of pages on the disk.
+func (d *Disk) Pages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}
+
+// Stats returns cumulative (reads, writes).
+func (d *Disk) Stats() (reads, writes int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads, d.writes
+}
+
+// Array is a fixed set of disks, addressed by PageID.Disk.
+type Array struct {
+	disks []*Disk
+}
+
+// NewArray creates n empty disks.
+func NewArray(n int) (*Array, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("storage: disk array needs at least one disk, got %d", n)
+	}
+	ds := make([]*Disk, n)
+	for i := range ds {
+		ds[i] = NewDisk()
+	}
+	return &Array{disks: ds}, nil
+}
+
+// Len returns the number of disks.
+func (a *Array) Len() int { return len(a.disks) }
+
+// Disk returns disk i.
+func (a *Array) Disk(i int) *Disk { return a.disks[i] }
+
+// Write appends a page image to the given disk and returns its PageID.
+func (a *Array) Write(disk int, img []byte) (PageID, error) {
+	if disk < 0 || disk >= len(a.disks) {
+		return PageID{}, fmt.Errorf("storage: disk %d out of range [0,%d)", disk, len(a.disks))
+	}
+	slot, err := a.disks[disk].Append(img)
+	if err != nil {
+		return PageID{}, err
+	}
+	return PageID{Disk: disk, Slot: slot}, nil
+}
+
+// Read fetches the page image at id.
+func (a *Array) Read(id PageID) ([]byte, error) {
+	if id.Disk < 0 || id.Disk >= len(a.disks) {
+		return nil, fmt.Errorf("storage: disk %d out of range [0,%d)", id.Disk, len(a.disks))
+	}
+	return a.disks[id.Disk].Read(id.Slot)
+}

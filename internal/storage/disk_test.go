@@ -1,0 +1,102 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDiskAppendRead(t *testing.T) {
+	d := NewDisk()
+	img := make([]byte, PageSize)
+	img[0] = 0xAB
+	slot, err := d.Append(img)
+	if err != nil || slot != 0 {
+		t.Fatalf("Append = %d, %v", slot, err)
+	}
+	img[0] = 0xCD // mutate caller copy; disk must have its own
+	got, err := d.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB {
+		t.Error("disk shares storage with caller")
+	}
+	got[0] = 0xEF // mutate returned copy; disk must be unaffected
+	again, _ := d.Read(0)
+	if again[0] != 0xAB {
+		t.Error("Read returns aliased storage")
+	}
+	r, w := d.Stats()
+	if r != 2 || w != 1 {
+		t.Errorf("stats = %d reads, %d writes", r, w)
+	}
+}
+
+func TestDiskErrors(t *testing.T) {
+	d := NewDisk()
+	if _, err := d.Append(make([]byte, 10)); err == nil {
+		t.Error("short page accepted")
+	}
+	if _, err := d.Read(0); err == nil {
+		t.Error("read of empty disk accepted")
+	}
+	if _, err := d.Read(-1); err == nil {
+		t.Error("negative slot accepted")
+	}
+}
+
+func TestDiskConcurrentAppend(t *testing.T) {
+	d := NewDisk()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := d.Append(make([]byte, PageSize)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Pages() != 400 {
+		t.Errorf("Pages = %d, want 400", d.Pages())
+	}
+}
+
+func TestArray(t *testing.T) {
+	a, err := NewArray(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	img := make([]byte, PageSize)
+	img[1] = 7
+	id, err := a.Write(2, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Disk != 2 || id.Slot != 0 {
+		t.Errorf("id = %v", id)
+	}
+	got, err := a.Read(id)
+	if err != nil || got[1] != 7 {
+		t.Errorf("Read = %v, %v", got[1], err)
+	}
+	if _, err := a.Write(9, img); err == nil {
+		t.Error("out-of-range disk accepted")
+	}
+	if _, err := a.Read(PageID{Disk: -1}); err == nil {
+		t.Error("negative disk accepted")
+	}
+	if _, err := NewArray(0); err == nil {
+		t.Error("empty array accepted")
+	}
+	if id.String() != "d2:p0" {
+		t.Errorf("PageID.String = %q", id.String())
+	}
+}

@@ -1,0 +1,105 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dbs3/internal/relation"
+)
+
+// PageSize is the fixed page size in bytes. 8 KB is the classic choice.
+const PageSize = 8192
+
+// Page is a slotted data page. Layout:
+//
+//	[0:2)   uint16 tuple count
+//	[2:..)  tuple payloads, appended front to back
+//	[..:]   slot directory at the tail: one uint16 offset per tuple,
+//	        growing backward from the end of the page
+//
+// The zero value is unusable; use NewPage.
+type Page struct {
+	buf  []byte
+	free int // offset of the first free payload byte
+}
+
+// NewPage returns an empty page.
+func NewPage() *Page {
+	return &Page{buf: make([]byte, PageSize), free: 2}
+}
+
+// Count returns the number of tuples on the page.
+func (p *Page) Count() int { return int(binary.LittleEndian.Uint16(p.buf)) }
+
+func (p *Page) setCount(n int) { binary.LittleEndian.PutUint16(p.buf, uint16(n)) }
+
+// slotOffset returns the byte position of slot i's directory entry.
+func (p *Page) slotOffset(i int) int { return PageSize - 2*(i+1) }
+
+// Insert appends a tuple to the page. It reports false (without modifying
+// the page) when the tuple plus its slot entry does not fit.
+func (p *Page) Insert(t relation.Tuple) bool {
+	need := EncodedSize(t)
+	n := p.Count()
+	// Payload must stay below the slot directory, which will grow by 2.
+	if p.free+need > p.slotOffset(n) {
+		return false
+	}
+	start := p.free
+	out := EncodeTuple(p.buf[:p.free], t)
+	p.free = len(out)
+	binary.LittleEndian.PutUint16(p.buf[p.slotOffset(n):], uint16(start))
+	p.setCount(n + 1)
+	return true
+}
+
+// Tuple decodes the i-th tuple on the page.
+func (p *Page) Tuple(i int) (relation.Tuple, error) {
+	if i < 0 || i >= p.Count() {
+		return nil, fmt.Errorf("storage: slot %d out of range (page has %d)", i, p.Count())
+	}
+	off := int(binary.LittleEndian.Uint16(p.buf[p.slotOffset(i):]))
+	t, _, err := DecodeTuple(p.buf[off:])
+	return t, err
+}
+
+// Tuples decodes every tuple on the page in slot order.
+func (p *Page) Tuples() ([]relation.Tuple, error) {
+	out := make([]relation.Tuple, 0, p.Count())
+	for i := 0; i < p.Count(); i++ {
+		t, err := p.Tuple(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Bytes exposes the raw page image (for the disk layer). Callers must not
+// mutate it.
+func (p *Page) Bytes() []byte { return p.buf }
+
+// PageFromBytes adopts a raw 8 KB image as a page.
+func PageFromBytes(b []byte) (*Page, error) {
+	if len(b) != PageSize {
+		return nil, fmt.Errorf("storage: page image is %d bytes, want %d", len(b), PageSize)
+	}
+	p := &Page{buf: b}
+	// Recompute the free pointer: past the end of the highest payload.
+	p.free = 2
+	for i := 0; i < p.Count(); i++ {
+		off := int(binary.LittleEndian.Uint16(p.buf[p.slotOffset(i):]))
+		if off >= PageSize {
+			return nil, fmt.Errorf("storage: corrupt slot %d offset %d", i, off)
+		}
+		_, n, err := DecodeTuple(p.buf[off:])
+		if err != nil {
+			return nil, err
+		}
+		if off+n > p.free {
+			p.free = off + n
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,82 @@
+package dbs3
+
+import "testing"
+
+func TestWisconsinSuiteRuns(t *testing.T) {
+	const card = 2000
+	db := New()
+	if err := db.CreateWisconsinBenchmark(card, 8, 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range WisconsinSuite(card) {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			rows, err := db.Query(q.SQL, &Options{Threads: 4})
+			if err != nil {
+				t.Fatalf("%s: %v", q.SQL, err)
+			}
+			if len(rows.Data) != q.ExpectRows {
+				t.Errorf("%s: %d rows, want %d", q.Name, len(rows.Data), q.ExpectRows)
+			}
+		})
+	}
+}
+
+func TestWisconsinSuiteUnderEveryStrategy(t *testing.T) {
+	const card = 1000
+	db := New()
+	if err := db.CreateWisconsinBenchmark(card, 4, 11); err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []string{"random", "lpt", "auto"} {
+		for _, q := range WisconsinSuite(card) {
+			rows, err := db.Query(q.SQL, &Options{Threads: 3, Strategy: strat})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", q.Name, strat, err)
+			}
+			if len(rows.Data) != q.ExpectRows {
+				t.Errorf("%s/%s: %d rows, want %d", q.Name, strat, len(rows.Data), q.ExpectRows)
+			}
+		}
+	}
+}
+
+func TestWisconsinSuiteAggregatesCorrect(t *testing.T) {
+	const card = 1000
+	db := New()
+	if err := db.CreateWisconsinBenchmark(card, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	// COUNT grouped by onePercent: 100 groups of card/100 each.
+	rows, err := db.Query("SELECT onePercent, COUNT(*) FROM tenktup1 GROUP BY onePercent", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows.Data {
+		if r[1].(int64) != card/100 {
+			t.Errorf("group %v has count %v, want %d", r[0], r[1], card/100)
+		}
+	}
+	// MIN(unique1) grouped by two: minima are 0 and 1.
+	rows, err = db.Query("SELECT two, MIN(unique1) FROM tenktup1 GROUP BY two", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mins := map[int64]int64{}
+	for _, r := range rows.Data {
+		mins[r[0].(int64)] = r[1].(int64)
+	}
+	if mins[0] != 0 || mins[1] != 1 {
+		t.Errorf("minima = %v, want {0:0, 1:1}", mins)
+	}
+}
+
+func TestCreateWisconsinBenchmarkValidation(t *testing.T) {
+	db := New()
+	if err := db.CreateWisconsinBenchmark(150, 4, 1); err == nil {
+		t.Error("non-multiple-of-100 cardinality accepted")
+	}
+	if err := db.CreateWisconsinBenchmark(0, 4, 1); err == nil {
+		t.Error("zero cardinality accepted")
+	}
+}
