@@ -10,8 +10,10 @@ package dbs3_test
 // and print the full figure tables with cmd/dbs3-bench.
 
 import (
+	"sync"
 	"testing"
 
+	"dbs3"
 	"dbs3/internal/baseline"
 	"dbs3/internal/core"
 	"dbs3/internal/experiments"
@@ -300,6 +302,84 @@ func BenchmarkAblationQueueAffinity(b *testing.B) {
 		picks = res.Stats[1].SecondaryPicks.Load()
 	}
 	b.ReportMetric(float64(picks), "secondary_picks")
+}
+
+// --- Concurrent runtime benches --------------------------------------------
+
+func concurrentDB(b *testing.B) *dbs3.Database {
+	b.Helper()
+	db := dbs3.New()
+	if err := db.CreateWisconsin("wisc", 20_000, 16, "unique2", 42); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateJoinPair("", 10_000, 1_000, 20, 0); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func managedThroughput(b *testing.B, clients int) {
+	db := concurrentDB(b)
+	m := db.Manager(dbs3.ManagerConfig{Budget: 8})
+	stmts := []string{
+		"SELECT unique2 FROM wisc WHERE unique1 < 10000",
+		"SELECT * FROM A JOIN B ON A.k = B.k",
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := (b.N + clients - 1) / clients
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				stmt := stmts[(c+i)%len(stmts)]
+				if _, err := db.Query(stmt, nil); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	st := m.Stats()
+	b.ReportMetric(float64(st.PeakThreads), "peak_threads")
+}
+
+// Concurrent query throughput through the QueryManager: the feedback loop
+// shrinks per-query parallelism as client concurrency grows, so total
+// allocation stays within one shared budget instead of oversubscribing the
+// machine clients-fold.
+func BenchmarkManagedThroughput1Client(b *testing.B)  { managedThroughput(b, 1) }
+func BenchmarkManagedThroughput4Clients(b *testing.B) { managedThroughput(b, 4) }
+func BenchmarkManagedThroughput8Clients(b *testing.B) { managedThroughput(b, 8) }
+
+// The same workload without a manager: every query schedules itself as if
+// it owned the machine (the pre-runtime behavior), as a baseline.
+func BenchmarkUnmanagedThroughput8Clients(b *testing.B) {
+	db := concurrentDB(b)
+	stmts := []string{
+		"SELECT unique2 FROM wisc WHERE unique1 < 10000",
+		"SELECT * FROM A JOIN B ON A.k = B.k",
+	}
+	const clients = 8
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := (b.N + clients - 1) / clients
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				stmt := stmts[(c+i)%len(stmts)]
+				if _, err := db.Query(stmt, nil); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
 }
 
 // Extension bench (§6 future work): the grain of parallelism lifts the

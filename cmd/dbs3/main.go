@@ -13,29 +13,44 @@
 //	dbs3 -q "SELECT * FROM A JOIN B ON A.k = B.k" -threads 8 -strategy lpt
 //	dbs3 -q "SELECT ten, COUNT(*) FROM wisc GROUP BY ten"
 //	dbs3 -q "SELECT * FROM A JOIN Br ON A.k = Br.k" -explain
+//
+// Batch mode fires many statements concurrently through a QueryManager,
+// demonstrating the shared thread budget and the measured-utilization
+// feedback into each query's scheduler ([Rahm93]):
+//
+//	dbs3 -q "SELECT * FROM A JOIN B ON A.k = B.k; SELECT ten, COUNT(*) FROM wisc GROUP BY ten" \
+//	     -concurrency 8 -repeat 20 -budget 16
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"dbs3"
 )
 
 func main() {
 	var (
-		query    = flag.String("q", "", "ESQL query to execute")
-		threads  = flag.Int("threads", 0, "degree of parallelism (0 = scheduler decides)")
-		strategy = flag.String("strategy", "auto", "consumption strategy: auto, random, lpt")
-		joinAlgo = flag.String("join", "hash", "join algorithm: hash, nested-loop, temp-index")
-		explain  = flag.Bool("explain", false, "print the parallel plan (DOT) instead of executing")
-		limit    = flag.Int("limit", 20, "maximum rows to print")
-		wisc     = flag.Int("wisc", 10_000, "wisconsin relation cardinality")
-		aCard    = flag.Int("acard", 10_000, "join relation A cardinality")
-		bCard    = flag.Int("bcard", 1_000, "join relation B cardinality")
-		degree   = flag.Int("degree", 20, "degree of partitioning")
-		skew     = flag.Float64("skew", 0, "Zipf skew of A's fragment sizes (0..1)")
+		query       = flag.String("q", "", "ESQL statement(s) to execute; ';' separates statements in batch mode")
+		threads     = flag.Int("threads", 0, "degree of parallelism (0 = scheduler decides)")
+		strategy    = flag.String("strategy", "auto", "consumption strategy: auto, random, lpt")
+		joinAlgo    = flag.String("join", "hash", "join algorithm: hash, nested-loop, temp-index")
+		explain     = flag.Bool("explain", false, "print the parallel plan (DOT) instead of executing")
+		limit       = flag.Int("limit", 20, "maximum rows to print")
+		wisc        = flag.Int("wisc", 10_000, "wisconsin relation cardinality")
+		aCard       = flag.Int("acard", 10_000, "join relation A cardinality")
+		bCard       = flag.Int("bcard", 1_000, "join relation B cardinality")
+		degree      = flag.Int("degree", 20, "degree of partitioning")
+		skew        = flag.Float64("skew", 0, "Zipf skew of A's fragment sizes (0..1)")
+		concurrency = flag.Int("concurrency", 1, "batch mode: workers firing statements through the QueryManager")
+		repeat      = flag.Int("repeat", 10, "batch mode: executions of each statement per worker")
+		budget      = flag.Int("budget", 0, "batch mode: manager thread budget (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -53,11 +68,18 @@ func main() {
 
 	opt := &dbs3.Options{Threads: *threads, Strategy: *strategy, JoinAlgo: *joinAlgo}
 	if *explain {
+		if *concurrency > 1 {
+			fatal(fmt.Errorf("-explain and -concurrency are mutually exclusive"))
+		}
 		dot, err := db.Explain(*query, opt)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(dot)
+		return
+	}
+	if *concurrency > 1 {
+		runBatch(db, *query, opt, *concurrency, *repeat, *budget)
 		return
 	}
 
@@ -73,6 +95,68 @@ func main() {
 		return
 	}
 	fmt.Print(rows.String())
+}
+
+// runBatch is the concurrent driver: workers fire the ';'-separated
+// statements round-robin through a QueryManager and the summary shows the
+// feedback loop at work — mean threads per query shrink as concurrency
+// saturates the budget, total allocation never exceeds it.
+func runBatch(db *dbs3.Database, query string, opt *dbs3.Options, workers, repeat, budget int) {
+	var stmts []string
+	for _, s := range strings.Split(query, ";") {
+		if s = strings.TrimSpace(s); s != "" {
+			stmts = append(stmts, s)
+		}
+	}
+	if len(stmts) == 0 {
+		fatal(fmt.Errorf("no statements in -q"))
+	}
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	m := db.Manager(dbs3.ManagerConfig{Budget: budget})
+
+	var queries, rowsOut, threadSum, failures int64
+	var utilSum atomic.Int64 // utilization * 1e6, summed
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < repeat*len(stmts); i++ {
+				stmt := stmts[(w+i)%len(stmts)]
+				rows, err := db.Query(stmt, opt)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dbs3: worker %d: %v\n", w, err)
+					atomic.AddInt64(&failures, 1)
+					return
+				}
+				atomic.AddInt64(&queries, 1)
+				atomic.AddInt64(&rowsOut, int64(len(rows.Data)))
+				atomic.AddInt64(&threadSum, int64(rows.Threads))
+				utilSum.Add(int64(rows.Utilization * 1e6))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := m.Stats()
+	fmt.Printf("batch: %d workers x %d executions over %d statement(s), budget %d threads\n",
+		workers, repeat*len(stmts), len(stmts), budget)
+	fmt.Printf("  queries:        %d (%.1f queries/s)\n", queries, float64(queries)/elapsed.Seconds())
+	fmt.Printf("  elapsed:        %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  rows returned:  %d\n", rowsOut)
+	if queries > 0 {
+		fmt.Printf("  mean threads:   %.2f per query (measured utilization %.2f mean)\n",
+			float64(threadSum)/float64(queries), float64(utilSum.Load())/1e6/float64(queries))
+	}
+	fmt.Printf("  manager:        admitted %d, completed %d, failed %d, cancelled %d, rejected %d, peak threads %d/%d\n",
+		st.Admitted, st.Completed, st.Failed, st.Cancelled, st.Rejected, st.PeakThreads, budget)
+	if failures > 0 {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

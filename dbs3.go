@@ -21,23 +21,51 @@
 //	db := dbs3.New()
 //	db.CreateWisconsin("wisc", 10000, 16, "unique2", 42)
 //	rows, err := db.Query("SELECT unique2 FROM wisc WHERE unique1 < 100", nil)
+//
+// # Concurrency & the QueryManager
+//
+// A Database is safe for concurrent use: queries may run while relations
+// are being created, and many queries may run at once. By default each
+// query schedules itself as if it owned the whole machine — fine for one
+// query, wasteful for many. Installing a QueryManager turns the library
+// into a concurrent query runtime with a machine-wide thread budget:
+//
+//	db.Manager(dbs3.ManagerConfig{Budget: 16})
+//	rows, err := db.QueryContext(ctx, "SELECT ...", nil)
+//
+// The manager admits queries through a bounded queue, reserves each
+// query's thread allocation against the shared budget before it starts,
+// and — closing the paper's [Rahm93] loop — feeds each admitted query's
+// scheduler a Utilization *measured* from the threads concurrent queries
+// actually hold, so auto-chosen parallelism shrinks under load to favor
+// multi-user throughput. QueryContext and ExplainContext propagate
+// cancellation into the engine: a cancelled query drains its operation
+// pools and frees its threads promptly.
 package dbs3
 
 import (
+	"context"
 	"fmt"
+	"sort"
+	"sync"
 
 	"dbs3/internal/core"
 	"dbs3/internal/esql"
 	"dbs3/internal/lera"
 	"dbs3/internal/partition"
 	"dbs3/internal/relation"
+	dbruntime "dbs3/internal/runtime"
 	"dbs3/internal/workload"
 )
 
 // Database is an in-memory database of statically partitioned relations.
+// It is safe for concurrent use by multiple goroutines: relation creation
+// takes a write lock, queries snapshot the catalog under a read lock.
 type Database struct {
+	mu       sync.RWMutex
 	rels     core.DB
 	resolver lera.MapResolver
+	manager  *dbruntime.Manager
 }
 
 // New creates an empty database.
@@ -45,18 +73,45 @@ func New() *Database {
 	return &Database{rels: make(core.DB), resolver: make(lera.MapResolver)}
 }
 
-// Relations returns the registered relation names (unordered).
+// ManagerConfig sizes the query manager installed by Database.Manager.
+type ManagerConfig struct {
+	// Budget is the machine-wide thread budget shared by all concurrent
+	// queries; 0 defaults to GOMAXPROCS.
+	Budget int
+	// MaxQueued bounds the admission queue; 0 defaults to 4*Budget.
+	MaxQueued int
+}
+
+// Manager installs a QueryManager sized by cfg and returns it. Once
+// installed, Query and QueryContext are admitted through it: concurrent
+// queries share its thread budget and each one's scheduler sees the
+// utilization measured from the others' allocated threads. Installing a
+// new manager replaces the previous one for future queries.
+func (db *Database) Manager(cfg ManagerConfig) *dbruntime.Manager {
+	m := dbruntime.NewManager(dbruntime.Config{Budget: cfg.Budget, MaxQueued: cfg.MaxQueued})
+	db.mu.Lock()
+	db.manager = m
+	db.mu.Unlock()
+	return m
+}
+
+// Relations returns the registered relation names, sorted.
 func (db *Database) Relations() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.rels))
 	for name := range db.rels {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 
 // Cardinality returns a relation's tuple count.
 func (db *Database) Cardinality(name string) (int, error) {
+	db.mu.RLock()
 	p, ok := db.rels[name]
+	db.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("dbs3: no relation %q", name)
 	}
@@ -65,7 +120,9 @@ func (db *Database) Cardinality(name string) (int, error) {
 
 // Degree returns a relation's degree of partitioning.
 func (db *Database) Degree(name string) (int, error) {
+	db.mu.RLock()
 	p, ok := db.rels[name]
+	db.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("dbs3: no relation %q", name)
 	}
@@ -75,7 +132,9 @@ func (db *Database) Degree(name string) (int, error) {
 // FragmentSizes returns a relation's per-fragment cardinalities — the
 // distribution the skew experiments manipulate.
 func (db *Database) FragmentSizes(name string) ([]int, error) {
+	db.mu.RLock()
 	p, ok := db.rels[name]
+	db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("dbs3: no relation %q", name)
 	}
@@ -83,6 +142,8 @@ func (db *Database) FragmentSizes(name string) ([]int, error) {
 }
 
 func (db *Database) register(p *partition.Partitioned, part partition.Func) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.rels[p.Name]; dup {
 		return fmt.Errorf("dbs3: relation %q already exists", p.Name)
 	}
@@ -94,6 +155,23 @@ func (db *Database) register(p *partition.Partitioned, part partition.Func) erro
 		Part:      part,
 	}
 	return nil
+}
+
+// snapshot copies the catalog under the read lock so a query's compile and
+// execution never race with concurrent relation creation. The copies share
+// the (immutable) partitioned relations, so they are cheap.
+func (db *Database) snapshot() (core.DB, lera.MapResolver, *dbruntime.Manager) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rels := make(core.DB, len(db.rels))
+	for k, v := range db.rels {
+		rels[k] = v
+	}
+	resolver := make(lera.MapResolver, len(db.resolver))
+	for k, v := range db.resolver {
+		resolver[k] = v
+	}
+	return rels, resolver, db.manager
 }
 
 // CreateWisconsin generates a Wisconsin benchmark relation [Bitton83] of the
@@ -224,6 +302,10 @@ type Rows struct {
 	Data [][]any
 	// Threads is the total degree of parallelism used.
 	Threads int
+	// Utilization is the processor utilization the scheduler saw: the
+	// Options value, or — when a QueryManager is installed — the measured
+	// concurrent load at admission if higher.
+	Utilization float64
 	// Operators reports per-operator scheduling statistics.
 	Operators []OperatorStats
 }
@@ -235,6 +317,14 @@ type Rows struct {
 //	  [WHERE predicate]
 //	  [GROUP BY cols]
 func (db *Database) Query(sql string, opt *Options) (*Rows, error) {
+	return db.QueryContext(context.Background(), sql, opt)
+}
+
+// QueryContext is Query under a context: cancelling ctx aborts the running
+// operations, which drain and free their threads promptly, and the call
+// returns ctx.Err(). When a QueryManager is installed the query is admitted
+// through it and executes under the shared thread budget.
+func (db *Database) QueryContext(ctx context.Context, sql string, opt *Options) (*Rows, error) {
 	strat, err := opt.strategy()
 	if err != nil {
 		return nil, err
@@ -243,7 +333,8 @@ func (db *Database) Query(sql string, opt *Options) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &esql.Compiler{Resolver: db.resolver, JoinAlgo: algo}
+	rels, resolver, manager := db.snapshot()
+	c := &esql.Compiler{Resolver: resolver, JoinAlgo: algo}
 	plan, _, err := c.Compile(sql)
 	if err != nil {
 		return nil, err
@@ -253,12 +344,20 @@ func (db *Database) Query(sql string, opt *Options) (*Rows, error) {
 	if opt != nil {
 		threads, grain, utilization = opt.Threads, opt.Grain, opt.Utilization
 	}
-	res, err := core.Execute(plan, db.rels, core.Options{
+	copts := core.Options{
 		Threads:      threads,
 		Strategy:     strat,
 		TriggerGrain: grain,
 		Utilization:  utilization,
-	})
+	}
+	var res *core.Result
+	if manager != nil {
+		var qs dbruntime.QueryStats
+		res, qs, err = manager.Execute(ctx, plan, rels, copts)
+		utilization = qs.Utilization
+	} else {
+		res, err = core.ExecuteContext(ctx, plan, rels, copts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +365,7 @@ func (db *Database) Query(sql string, opt *Options) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := &Rows{Threads: res.Alloc.Total}
+	rows := &Rows{Threads: res.Alloc.Total, Utilization: utilization}
 	for i := 0; i < out.Schema.Len(); i++ {
 		rows.Columns = append(rows.Columns, out.Schema.Column(i).Name)
 	}
@@ -299,11 +398,21 @@ func (db *Database) Query(sql string, opt *Options) (*Rows, error) {
 // Explain compiles a statement and returns its parallel plan in Graphviz DOT
 // form (the Lera-par "simple view" of Figure 1).
 func (db *Database) Explain(sql string, opt *Options) (string, error) {
+	return db.ExplainContext(context.Background(), sql, opt)
+}
+
+// ExplainContext is Explain under a context (compilation is quick; the
+// context is checked once for early cancellation).
+func (db *Database) ExplainContext(ctx context.Context, sql string, opt *Options) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	algo, err := opt.joinAlgo()
 	if err != nil {
 		return "", err
 	}
-	c := &esql.Compiler{Resolver: db.resolver, JoinAlgo: algo}
+	_, resolver, _ := db.snapshot()
+	c := &esql.Compiler{Resolver: resolver, JoinAlgo: algo}
 	_, g, err := c.Compile(sql)
 	if err != nil {
 		return "", err

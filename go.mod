@@ -1,0 +1,3 @@
+module dbs3
+
+go 1.24

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"dbs3/internal/lera"
+	"dbs3/internal/workload"
+)
+
+// TestExecuteContextCancel cancels mid-execution with a tiny queue capacity
+// so producers are blocked on backpressure when the abort lands; the call
+// must return ctx.Err() promptly and leak no goroutines.
+func TestExecuteContextCancel(t *testing.T) {
+	db, err := workload.NewJoinDB(50_000, 5_000, 40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.AssocJoinPlan(lera.NestedLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() {
+		<-started
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	resCh := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := ExecuteContext(ctx, plan, db.Relations(), Options{Threads: 4, QueueCap: 2})
+		resCh <- err
+	}()
+	select {
+	case err := <-resCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled execution did not return within 10s")
+	}
+
+	// Workers, producers and the watcher must all unwind.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, n)
+	}
+}
+
+// TestExecuteContextPreCancelled never starts work under an already
+// cancelled context.
+func TestExecuteContextPreCancelled(t *testing.T) {
+	db, err := workload.NewJoinDB(1_000, 100, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.IdealJoinPlan(lera.HashJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteContext(ctx, plan, db.Relations(), Options{Threads: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExecuteContextComplete checks that the context plumbing does not
+// disturb a normal run, including with concurrent chains.
+func TestExecuteContextComplete(t *testing.T) {
+	db, err := workload.NewJoinDB(2_000, 200, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.AssocJoinPlan(lera.HashJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cc := range []bool{false, true} {
+		res, err := ExecuteContext(context.Background(), plan, db.Relations(), Options{Threads: 4, ConcurrentChains: cc})
+		if err != nil {
+			t.Fatalf("ConcurrentChains=%v: %v", cc, err)
+		}
+		if got := res.Outputs["Res"].Cardinality(); got != db.ExpectedJoinCount() {
+			t.Fatalf("ConcurrentChains=%v: cardinality = %d, want %d", cc, got, db.ExpectedJoinCount())
+		}
+	}
+}
+
+// TestPlanAllocationMatchesExecute verifies the split allocation API: the
+// allocation PlanAllocation returns is the one Execute uses.
+func TestPlanAllocationMatchesExecute(t *testing.T) {
+	db, err := workload.NewJoinDB(2_000, 200, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.IdealJoinPlan(lera.HashJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Processors: 8, Utilization: 0.5}
+	alloc, err := PlanAllocation(plan, db.Relations(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExecuteContext(context.Background(), plan, db.Relations(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alloc.Total != alloc.Total {
+		t.Errorf("Execute used %d threads, PlanAllocation chose %d", res.Alloc.Total, alloc.Total)
+	}
+}
+
+// TestQueueAbort covers the backpressure release: a producer blocked on a
+// full queue is freed by Abort and subsequent pushes are dropped.
+func TestQueueAbort(t *testing.T) {
+	q := NewQueue(1)
+	q.Push(Activation{})
+	unblocked := make(chan struct{})
+	go func() {
+		q.Push(Activation{}) // blocks: capacity 1, already full
+		close(unblocked)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	q.Abort()
+	select {
+	case <-unblocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Abort did not release a blocked producer")
+	}
+	q.Push(Activation{}) // dropped, must not panic or block
+	if q.Len() != 1 {
+		t.Errorf("queue length = %d after abort, want 1 (drops, no appends)", q.Len())
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -92,8 +93,56 @@ func (r *Result) Relation(name string) (*relation.Relation, error) {
 
 // Execute runs a bound plan against a database. Chains (subqueries) run
 // sequentially in dependency order — the paper's materialization points —
-// with full pipelining inside each chain.
+// with full pipelining inside each chain. It is a thin wrapper over
+// ExecuteContext with a background context.
 func Execute(plan *lera.Plan, db DB, opts Options) (*Result, error) {
+	return ExecuteContext(context.Background(), plan, db, opts)
+}
+
+// ExecuteContext runs a bound plan against a database under a context. When
+// ctx is cancelled mid-execution the engine aborts every running operation:
+// workers exit at their next acquire, producers blocked on full-queue
+// backpressure are released, and the call returns ctx.Err() promptly without
+// leaking goroutines.
+func ExecuteContext(ctx context.Context, plan *lera.Plan, db DB, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	alloc, err := PlanAllocation(plan, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteAllocated(ctx, plan, db, opts, alloc)
+}
+
+// PlanAllocation verifies the database against the plan and runs the
+// four-step scheduler, returning the thread allocation ExecuteAllocated
+// would use. Splitting allocation from execution lets an admission
+// controller (internal/runtime.QueryManager) reserve the chosen thread
+// count against a machine-wide budget before the query starts.
+func PlanAllocation(plan *lera.Plan, db DB, opts Options) (Allocation, error) {
+	opts = opts.withDefaults()
+	if err := checkDB(plan, db); err != nil {
+		return Allocation{}, err
+	}
+	cm := lera.DefaultCostModel()
+	if opts.CostModel != nil {
+		cm = *opts.CostModel
+	}
+	costs := lera.Estimate(plan, cm)
+	return Allocate(plan, costs, func(id int) []float64 { return instanceCosts(plan, db, id) }, SchedulerOptions{
+		Threads:          opts.Threads,
+		Processors:       opts.Processors,
+		StartupCost:      opts.StartupCost,
+		Strategy:         opts.Strategy,
+		SkewThreshold:    opts.SkewThreshold,
+		Utilization:      opts.Utilization,
+		ConcurrentChains: opts.ConcurrentChains,
+	}), nil
+}
+
+// ExecuteAllocated runs a plan with a precomputed thread allocation (from
+// PlanAllocation). opts should be the same options the allocation was
+// computed with.
+func ExecuteAllocated(ctx context.Context, plan *lera.Plan, db DB, opts Options, alloc Allocation) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := checkDB(plan, db); err != nil {
 		return nil, err
@@ -104,21 +153,6 @@ func Execute(plan *lera.Plan, db DB, opts Options) (*Result, error) {
 		work[k] = v
 	}
 
-	cm := lera.DefaultCostModel()
-	if opts.CostModel != nil {
-		cm = *opts.CostModel
-	}
-	costs := lera.Estimate(plan, cm)
-	alloc := Allocate(plan, costs, func(id int) []float64 { return instanceCosts(plan, work, id) }, SchedulerOptions{
-		Threads:          opts.Threads,
-		Processors:       opts.Processors,
-		StartupCost:      opts.StartupCost,
-		Strategy:         opts.Strategy,
-		SkewThreshold:    opts.SkewThreshold,
-		Utilization:      opts.Utilization,
-		ConcurrentChains: opts.ConcurrentChains,
-	})
-
 	res := &Result{
 		Outputs: make(map[string]*partition.Partitioned),
 		Stats:   make(map[int]*OpStats),
@@ -127,7 +161,10 @@ func Execute(plan *lera.Plan, db DB, opts Options) (*Result, error) {
 	var mu sync.Mutex // guards work and res across concurrently running chains
 	if !opts.ConcurrentChains {
 		for _, chain := range plan.Chains {
-			if err := runChain(plan, chain, work, alloc, opts, res, &mu); err != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := runChain(ctx, plan, chain, work, alloc, opts, res, &mu); err != nil {
 				return nil, err
 			}
 		}
@@ -153,13 +190,18 @@ func Execute(plan *lera.Plan, db DB, opts Options) (*Result, error) {
 				}
 			}()
 			for _, dep := range chainDeps(plan, chain) {
-				<-ready[dep]
+				select {
+				case <-ready[dep]:
+				case <-ctx.Done():
+					errCh <- ctx.Err()
+					return
+				}
 			}
-			if failed.Load() {
-				errCh <- nil // first error already captured
+			if failed.Load() || ctx.Err() != nil {
+				errCh <- ctx.Err() // first error already captured
 				return
 			}
-			if err := runChain(plan, chain, work, alloc, opts, res, &mu); err != nil {
+			if err := runChain(ctx, plan, chain, work, alloc, opts, res, &mu); err != nil {
 				failed.Store(true)
 				errCh <- err
 				return
@@ -290,8 +332,9 @@ func instanceCosts(plan *lera.Plan, db DB, id int) []float64 {
 
 // runChain executes one pipeline chain to completion. mu serializes access
 // to the shared database map and result structures when chains run
-// concurrently.
-func runChain(plan *lera.Plan, chain []int, db DB, alloc Allocation, opts Options, res *Result, mu *sync.Mutex) error {
+// concurrently. Cancelling ctx aborts every operation in the chain: workers
+// and blocked producers drain and the chain returns ctx.Err().
+func runChain(ctx context.Context, plan *lera.Plan, chain []int, db DB, alloc Allocation, opts Options, res *Result, mu *sync.Mutex) error {
 	inChain := make(map[int]bool, len(chain))
 	for _, id := range chain {
 		inChain[id] = true
@@ -377,7 +420,21 @@ func runChain(plan *lera.Plan, chain []int, db DB, alloc Allocation, opts Option
 		}
 	}
 
-	// Start pools, inject triggers, wait.
+	// Start pools, inject triggers, wait. A watcher aborts every operation
+	// on cancellation so workers and blocked producers unwind; it exits via
+	// watchDone when the chain completes normally.
+	watchDone := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				for _, id := range chain {
+					ops[id].abort()
+				}
+			case <-watchDone:
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	for _, id := range chain {
 		ops[id].run(&wg)
@@ -388,7 +445,11 @@ func runChain(plan *lera.Plan, chain []int, db DB, alloc Allocation, opts Option
 		}
 	}
 	wg.Wait()
+	close(watchDone)
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, id := range chain {
 		if err := ops[id].Err(); err != nil {
 			return err

@@ -91,7 +91,13 @@ type Operation struct {
 	closeBegun []bool
 	doneCount  int
 	completed  bool
+	aborted    bool
 	onComplete func()
+	// abortFlag mirrors aborted for cheap lock-free polling between
+	// activations: cancellation latency is bounded by one activation's
+	// work, not a whole batch (and TriggerGrain shrinks the activations
+	// themselves).
+	abortFlag atomic.Bool
 
 	firstErr error
 }
@@ -193,6 +199,10 @@ func (o *Operation) worker(w int) {
 func (o *Operation) acquire(strat strategy, main []*Queue, mainIdx []int, cache []Activation) ([]Activation, int, bool) {
 	o.mu.Lock()
 	for {
+		if o.aborted {
+			o.mu.Unlock()
+			return nil, -1, false
+		}
 		qi := -1
 		if k := strat.pick(main); k >= 0 {
 			qi = mainIdx[k]
@@ -260,6 +270,9 @@ func (o *Operation) process(qi int, batch []Activation) {
 		o.emit(qi, t)
 	}
 	for _, a := range batch {
+		if o.abortFlag.Load() {
+			return
+		}
 		var err error
 		switch {
 		case a.IsPartial():
@@ -361,6 +374,21 @@ func (o *Operation) runCloses(instances []int) {
 	o.mu.Unlock()
 	if complete && o.onComplete != nil {
 		o.onComplete()
+	}
+}
+
+// abort cancels the operation: workers exit at their next acquire, blocked
+// producers pushing into this operation's queues are released, and further
+// pushes are dropped. Instance closes and the completion callback are
+// skipped — a cancelled execution reports no result.
+func (o *Operation) abort() {
+	o.abortFlag.Store(true)
+	o.mu.Lock()
+	o.aborted = true
+	o.cond.Broadcast()
+	o.mu.Unlock()
+	for _, q := range o.Queues {
+		q.Abort()
 	}
 }
 

@@ -50,6 +50,10 @@ type Queue struct {
 	count int
 
 	closed bool
+	// aborted marks the execution as cancelled: Push stops blocking and
+	// silently drops, so producers drain instead of deadlocking on a full
+	// queue whose consumers have exited.
+	aborted bool
 
 	// est is the static LPT estimate of the queue's total work (triggered
 	// queues: derived from fragment sizes at plan build time).
@@ -90,8 +94,12 @@ func (q *Queue) SetPerTupleCost(c float64) {
 // last push, so this is an engine bug, not a runtime condition.
 func (q *Queue) Push(a Activation) {
 	q.mu.Lock()
-	for q.count == len(q.buf) && !q.closed {
+	for q.count == len(q.buf) && !q.closed && !q.aborted {
 		q.notFull.Wait()
+	}
+	if q.aborted {
+		q.mu.Unlock()
+		return
 	}
 	if q.closed {
 		q.mu.Unlock()
@@ -139,6 +147,20 @@ func (q *Queue) Len() int {
 func (q *Queue) Close() {
 	q.mu.Lock()
 	q.closed = true
+	q.notFull.Broadcast()
+	notify := q.onPush
+	q.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// Abort marks the execution as cancelled. Blocked producers are released and
+// further pushes are dropped; pending activations stay in the buffer but the
+// operation's workers exit without consuming them.
+func (q *Queue) Abort() {
+	q.mu.Lock()
+	q.aborted = true
 	q.notFull.Broadcast()
 	notify := q.onPush
 	q.mu.Unlock()

@@ -1,0 +1,342 @@
+// Package runtime turns the single-shot execution engine into a concurrent
+// query runtime. Its QueryManager owns a machine-wide thread budget shared by
+// every concurrently executing query, admits queries through a bounded queue,
+// and closes the paper's [Rahm93] feedback loop: the Utilization that step 1
+// of the Figure 5 scheduler uses to shrink a query's degree of parallelism
+// "to increase the multi-user throughput" is no longer a hand-set constant
+// but is measured from the threads currently allocated to other queries at
+// admission time.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"dbs3/internal/core"
+	"dbs3/internal/lera"
+)
+
+// ErrQueueFull is returned when a query arrives while the bounded admission
+// queue is at capacity. Callers should shed the query (or retry later)
+// rather than pile unbounded demand onto a saturated machine.
+var ErrQueueFull = errors.New("runtime: admission queue full")
+
+// ErrClosed is returned for queries submitted to a closed manager.
+var ErrClosed = errors.New("runtime: manager closed")
+
+// Config sizes a QueryManager.
+type Config struct {
+	// Budget is the machine-wide thread budget shared by all concurrent
+	// queries; 0 defaults to GOMAXPROCS. The sum of threads allocated to
+	// in-flight queries never exceeds it.
+	Budget int
+	// MaxQueued bounds the admission queue: queries beyond it are rejected
+	// with ErrQueueFull instead of waiting. 0 defaults to 4*Budget.
+	MaxQueued int
+}
+
+// Stats is a snapshot of the manager's aggregate counters.
+type Stats struct {
+	// Admitted, Completed, Failed, Cancelled and Rejected count queries
+	// over the manager's lifetime. Failed counts execution errors (bad
+	// data, missing relations); Cancelled counts context cancellations
+	// both while queued and mid-execution; Rejected counts ErrQueueFull
+	// sheds. Admitted = Completed + Failed + Cancelled-during-execution
+	// + Active once drained.
+	Admitted, Completed, Failed, Cancelled, Rejected int64
+	// Queued and Active are the current admission-queue length and the
+	// number of queries executing right now.
+	Queued, Active int
+	// ThreadsInFlight is the thread count currently allocated across active
+	// queries; PeakThreads is its lifetime high-water mark (always <= the
+	// budget).
+	ThreadsInFlight, PeakThreads int
+}
+
+// QueryStats describes one admitted query's passage through the manager —
+// the per-query half of the feedback loop.
+type QueryStats struct {
+	// Utilization is the measured processor utilization fed to the
+	// scheduler: threads already allocated to other queries divided by the
+	// budget, sampled at admission.
+	Utilization float64
+	// Threads is the thread count reserved for (and used by) the query.
+	Threads int
+	// Available is the budget headroom the query was admitted into.
+	Available int
+}
+
+// Manager is the concurrent query runtime: a machine-wide thread budget, a
+// bounded admission queue, and measured-utilization feedback into each
+// admitted query's scheduler. The zero value is not usable; call NewManager.
+//
+// Admission is FIFO by ticket: a query with a large explicit thread request
+// cannot be starved by a stream of small queries — it blocks the queue
+// until its threads free up (head-of-line blocking is the price of
+// fairness).
+type Manager struct {
+	budget    int
+	maxQueued int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	allocated int // threads reserved by in-flight queries
+	queued    int
+	active    int
+	closed    bool
+
+	// FIFO ticket line: serving is the ticket allowed to admit next;
+	// waiters that give up out of turn park their ticket in abandoned so
+	// the line can skip them.
+	nextTicket int64
+	serving    int64
+	abandoned  map[int64]bool
+
+	admitted  int64
+	completed int64
+	failed    int64
+	cancelled int64
+	rejected  int64
+	peak      int
+}
+
+// NewManager creates a manager with the given configuration.
+func NewManager(cfg Config) *Manager {
+	if cfg.Budget <= 0 {
+		cfg.Budget = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueued <= 0 {
+		cfg.MaxQueued = 4 * cfg.Budget
+	}
+	m := &Manager{budget: cfg.Budget, maxQueued: cfg.MaxQueued, abandoned: make(map[int64]bool)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// takeTicketLocked joins the FIFO line.
+func (m *Manager) takeTicketLocked() int64 {
+	t := m.nextTicket
+	m.nextTicket++
+	return t
+}
+
+// advanceLocked passes the head of the line on, skipping abandoned tickets,
+// and wakes the waiters so the new head can proceed.
+func (m *Manager) advanceLocked() {
+	m.serving++
+	for m.abandoned[m.serving] {
+		delete(m.abandoned, m.serving)
+		m.serving++
+	}
+	m.cond.Broadcast()
+}
+
+// leaveLocked abandons a ticket (cancellation, close, planning error),
+// advancing the line if it was at the head.
+func (m *Manager) leaveLocked(ticket int64) {
+	if ticket == m.serving {
+		m.advanceLocked()
+		return
+	}
+	m.abandoned[ticket] = true
+}
+
+// awaitTurnLocked blocks until the ticket is at the head of the line with
+// need threads available, or the manager closes / ctx is cancelled.
+func (m *Manager) awaitTurnLocked(ctx context.Context, ticket int64, need int) error {
+	for m.serving != ticket || m.budget-m.allocated < need {
+		if m.closed {
+			m.leaveLocked(ticket)
+			return ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			m.leaveLocked(ticket)
+			return err
+		}
+		m.cond.Wait()
+	}
+	return nil
+}
+
+// Budget returns the machine-wide thread budget.
+func (m *Manager) Budget() int { return m.budget }
+
+// Utilization returns the current measured utilization: allocated threads
+// over budget, in [0, 1].
+func (m *Manager) Utilization() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return float64(m.allocated) / float64(m.budget)
+}
+
+// Stats snapshots the aggregate counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Admitted:        m.admitted,
+		Completed:       m.completed,
+		Failed:          m.failed,
+		Cancelled:       m.cancelled,
+		Rejected:        m.rejected,
+		Queued:          m.queued,
+		Active:          m.active,
+		ThreadsInFlight: m.allocated,
+		PeakThreads:     m.peak,
+	}
+}
+
+// Close rejects all future submissions and wakes queued queries, which
+// return ErrClosed. In-flight executions are not interrupted.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Reserve takes n threads out of the budget for work outside the manager
+// (or to simulate load in tests), waiting until they are available. The
+// returned release function returns them; it is idempotent.
+func (m *Manager) Reserve(ctx context.Context, n int) (release func(), err error) {
+	if n < 0 {
+		n = 0
+	}
+	if n > m.budget {
+		n = m.budget
+	}
+	stop := context.AfterFunc(ctx, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer stop()
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	ticket := m.takeTicketLocked()
+	if err := m.awaitTurnLocked(ctx, ticket, n); err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.allocated += n
+	if m.allocated > m.peak {
+		m.peak = m.allocated
+	}
+	m.advanceLocked()
+	m.mu.Unlock()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			m.mu.Lock()
+			m.allocated -= n
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		})
+	}, nil
+}
+
+// Execute admits one query and runs it under the shared budget.
+//
+// Admission: the query waits (in the bounded queue) until the budget has
+// headroom — one thread for auto-threaded queries, the full explicit
+// opts.Threads otherwise (clamped to the budget). On admission the manager
+// measures utilization from the threads other queries hold, caps the
+// query's usable processors at the remaining headroom, runs the Figure 5
+// scheduler, and reserves the chosen thread count before execution starts —
+// so the sum of reserved threads never exceeds the budget. The reservation
+// is returned when the query finishes or is cancelled.
+func (m *Manager) Execute(ctx context.Context, plan *lera.Plan, db core.DB, opts core.Options) (*core.Result, QueryStats, error) {
+	if opts.Threads > m.budget {
+		opts.Threads = m.budget
+	}
+	need := 1
+	if opts.Threads > 0 {
+		need = opts.Threads
+	}
+
+	stop := context.AfterFunc(ctx, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer stop()
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, QueryStats{}, ErrClosed
+	}
+	if m.queued >= m.maxQueued {
+		m.rejected++
+		m.mu.Unlock()
+		return nil, QueryStats{}, ErrQueueFull
+	}
+	m.queued++
+	ticket := m.takeTicketLocked()
+	if err := m.awaitTurnLocked(ctx, ticket, need); err != nil {
+		m.queued--
+		if err != ErrClosed {
+			m.cancelled++
+		}
+		m.mu.Unlock()
+		return nil, QueryStats{}, err
+	}
+
+	// Admission point: measure concurrent load and feed it to the
+	// scheduler. Cost estimation runs outside the lock — the ticket line
+	// guarantees no other query can reserve threads meanwhile (completions
+	// only grow the headroom), so the allocation stays within budget.
+	available := m.budget - m.allocated
+	measured := float64(m.allocated) / float64(m.budget)
+	m.mu.Unlock()
+	if measured > opts.Utilization {
+		opts.Utilization = measured
+	}
+	if opts.Processors <= 0 || opts.Processors > available {
+		opts.Processors = available
+	}
+	alloc, planErr := core.PlanAllocation(plan, db, opts)
+	m.mu.Lock()
+	m.queued--
+	if planErr != nil {
+		m.failed++
+		m.leaveLocked(ticket)
+		m.mu.Unlock()
+		return nil, QueryStats{}, planErr
+	}
+	m.allocated += alloc.Total
+	if m.allocated > m.peak {
+		m.peak = m.allocated
+	}
+	m.admitted++
+	m.active++
+	m.advanceLocked()
+	m.mu.Unlock()
+
+	res, err := core.ExecuteAllocated(ctx, plan, db, opts, alloc)
+
+	m.mu.Lock()
+	m.allocated -= alloc.Total
+	m.active--
+	switch {
+	case err == nil:
+		m.completed++
+	case ctx.Err() != nil:
+		m.cancelled++
+	default:
+		m.failed++
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	qs := QueryStats{Utilization: opts.Utilization, Threads: alloc.Total, Available: available}
+	return res, qs, err
+}
