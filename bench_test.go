@@ -334,7 +334,7 @@ func managedThroughput(b *testing.B, clients int) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
 				stmt := stmts[(c+i)%len(stmts)]
-				if _, err := db.Query(stmt, nil); err != nil {
+				if _, err := db.QueryAll(stmt, nil); err != nil {
 					b.Error(err)
 					return
 				}
@@ -372,7 +372,7 @@ func BenchmarkUnmanagedThroughput8Clients(b *testing.B) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
 				stmt := stmts[(c+i)%len(stmts)]
-				if _, err := db.Query(stmt, nil); err != nil {
+				if _, err := db.QueryAll(stmt, nil); err != nil {
 					b.Error(err)
 					return
 				}

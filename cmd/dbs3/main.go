@@ -1,6 +1,8 @@
 // Command dbs3 runs ESQL queries against a generated demo database on the
 // adaptive parallel execution engine, printing results and per-operator
-// scheduling statistics.
+// scheduling statistics. Results stream through the cursor API: the first
+// rows print while the query is still executing, and -limit stops printing
+// (but keeps counting) once reached.
 //
 // The demo database holds:
 //
@@ -15,11 +17,12 @@
 //	dbs3 -q "SELECT * FROM A JOIN Br ON A.k = Br.k" -explain
 //
 // Batch mode fires many statements concurrently through a QueryManager,
-// demonstrating the shared thread budget and the measured-utilization
-// feedback into each query's scheduler ([Rahm93]):
+// demonstrating the shared thread budget, the measured-utilization feedback
+// into each query's scheduler ([Rahm93]), and the plan cache amortizing
+// compilation across repeated statements:
 //
 //	dbs3 -q "SELECT * FROM A JOIN B ON A.k = B.k; SELECT ten, COUNT(*) FROM wisc GROUP BY ten" \
-//	     -concurrency 8 -repeat 20 -budget 16
+//	     -concurrency 8 -repeat 20 -budget 16 -priority batch
 package main
 
 import (
@@ -41,8 +44,9 @@ func main() {
 		threads     = flag.Int("threads", 0, "degree of parallelism (0 = scheduler decides)")
 		strategy    = flag.String("strategy", "auto", "consumption strategy: auto, random, lpt")
 		joinAlgo    = flag.String("join", "hash", "join algorithm: hash, nested-loop, temp-index")
+		priority    = flag.String("priority", "interactive", "admission class under the manager: interactive, batch")
 		explain     = flag.Bool("explain", false, "print the parallel plan (DOT) instead of executing")
-		limit       = flag.Int("limit", 20, "maximum rows to print")
+		limit       = flag.Int("limit", 20, "maximum rows to print (the rest are drained and counted, not shown)")
 		wisc        = flag.Int("wisc", 10_000, "wisconsin relation cardinality")
 		aCard       = flag.Int("acard", 10_000, "join relation A cardinality")
 		bCard       = flag.Int("bcard", 1_000, "join relation B cardinality")
@@ -66,7 +70,7 @@ func main() {
 		fatal(err)
 	}
 
-	opt := &dbs3.Options{Threads: *threads, Strategy: *strategy, JoinAlgo: *joinAlgo}
+	opt := &dbs3.Options{Threads: *threads, Strategy: *strategy, JoinAlgo: *joinAlgo, Priority: *priority}
 	if *explain {
 		if *concurrency > 1 {
 			fatal(fmt.Errorf("-explain and -concurrency are mutually exclusive"))
@@ -83,38 +87,82 @@ func main() {
 		return
 	}
 
-	rows, err := db.Query(*query, opt)
+	runStreaming(db, *query, opt, *limit)
+}
+
+// runStreaming executes one statement through the cursor API: rows print as
+// the engine produces them, the tail beyond -limit is only counted, and the
+// per-operator footer prints once the stream is drained.
+func runStreaming(db *dbs3.Database, query string, opt *dbs3.Options, limit int) {
+	stmt, err := db.Prepare(query, opt)
 	if err != nil {
 		fatal(err)
 	}
-	if len(rows.Data) > *limit {
-		trimmed := *rows
-		trimmed.Data = rows.Data[:*limit]
-		fmt.Print(trimmed.String())
-		fmt.Printf("... (%d rows not shown)\n", len(rows.Data)-*limit)
-		return
+	rows, err := stmt.Query()
+	if err != nil {
+		fatal(err)
 	}
-	fmt.Print(rows.String())
+	defer rows.Close()
+
+	cols := rows.Columns()
+	fmt.Println(strings.Join(cols, " | "))
+	printed, total := 0, 0
+	for rows.Next() {
+		total++
+		if printed >= limit {
+			continue
+		}
+		var vals []string
+		row := make([]any, len(cols))
+		ptrs := make([]any, len(cols))
+		for i := range row {
+			ptrs[i] = &row[i]
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			fatal(err)
+		}
+		for _, v := range row {
+			vals = append(vals, fmt.Sprint(v))
+		}
+		fmt.Println(strings.Join(vals, " | "))
+		printed++
+	}
+	if err := rows.Err(); err != nil {
+		fatal(err)
+	}
+	if total > printed {
+		fmt.Printf("... (%d rows not shown)\n", total-printed)
+	}
+	fmt.Print(dbs3.FormatStats(total, rows.Threads(), rows.Operators()))
 }
 
-// runBatch is the concurrent driver: workers fire the ';'-separated
-// statements round-robin through a QueryManager and the summary shows the
-// feedback loop at work — mean threads per query shrink as concurrency
-// saturates the budget, total allocation never exceeds it.
+// runBatch is the concurrent driver: workers prepare the ';'-separated
+// statements once and fire them round-robin through a QueryManager. The
+// summary shows the feedback loop at work — mean threads per query shrink as
+// concurrency saturates the budget, total allocation never exceeds it — and
+// the plan cache amortizing compilation across repeats.
 func runBatch(db *dbs3.Database, query string, opt *dbs3.Options, workers, repeat, budget int) {
-	var stmts []string
+	var raw []string
 	for _, s := range strings.Split(query, ";") {
 		if s = strings.TrimSpace(s); s != "" {
-			stmts = append(stmts, s)
+			raw = append(raw, s)
 		}
 	}
-	if len(stmts) == 0 {
+	if len(raw) == 0 {
 		fatal(fmt.Errorf("no statements in -q"))
 	}
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)
 	}
 	m := db.Manager(dbs3.ManagerConfig{Budget: budget})
+
+	stmts := make([]*dbs3.Stmt, len(raw))
+	for i, s := range raw {
+		var err error
+		if stmts[i], err = db.Prepare(s, opt); err != nil {
+			fatal(err)
+		}
+	}
 
 	var queries, rowsOut, threadSum, failures int64
 	var utilSum atomic.Int64 // utilization * 1e6, summed
@@ -126,16 +174,25 @@ func runBatch(db *dbs3.Database, query string, opt *dbs3.Options, workers, repea
 			defer wg.Done()
 			for i := 0; i < repeat*len(stmts); i++ {
 				stmt := stmts[(w+i)%len(stmts)]
-				rows, err := db.Query(stmt, opt)
+				rows, err := stmt.Query()
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "dbs3: worker %d: %v\n", w, err)
 					atomic.AddInt64(&failures, 1)
 					return
 				}
+				n := 0
+				for rows.Next() {
+					n++
+				}
+				if err := rows.Err(); err != nil {
+					fmt.Fprintf(os.Stderr, "dbs3: worker %d: %v\n", w, err)
+					atomic.AddInt64(&failures, 1)
+					return
+				}
 				atomic.AddInt64(&queries, 1)
-				atomic.AddInt64(&rowsOut, int64(len(rows.Data)))
-				atomic.AddInt64(&threadSum, int64(rows.Threads))
-				utilSum.Add(int64(rows.Utilization * 1e6))
+				atomic.AddInt64(&rowsOut, int64(n))
+				atomic.AddInt64(&threadSum, int64(rows.Threads()))
+				utilSum.Add(int64(rows.Utilization() * 1e6))
 			}
 		}(w)
 	}
@@ -143,17 +200,18 @@ func runBatch(db *dbs3.Database, query string, opt *dbs3.Options, workers, repea
 	elapsed := time.Since(start)
 
 	st := m.Stats()
-	fmt.Printf("batch: %d workers x %d executions over %d statement(s), budget %d threads\n",
-		workers, repeat*len(stmts), len(stmts), budget)
+	fmt.Printf("batch: %d workers x %d executions over %d statement(s), budget %d threads, %s priority\n",
+		workers, repeat*len(stmts), len(stmts), budget, opt.Priority)
 	fmt.Printf("  queries:        %d (%.1f queries/s)\n", queries, float64(queries)/elapsed.Seconds())
 	fmt.Printf("  elapsed:        %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("  rows returned:  %d\n", rowsOut)
 	if queries > 0 {
-		fmt.Printf("  mean threads:   %.2f per query (measured utilization %.2f mean)\n",
-			float64(threadSum)/float64(queries), float64(utilSum.Load())/1e6/float64(queries))
+		fmt.Printf("  mean threads:   %.2f per query (effective utilization %.2f mean, EWMA %.2f)\n",
+			float64(threadSum)/float64(queries), float64(utilSum.Load())/1e6/float64(queries), st.SmoothedUtilization)
 	}
 	fmt.Printf("  manager:        admitted %d, completed %d, failed %d, cancelled %d, rejected %d, peak threads %d/%d\n",
 		st.Admitted, st.Completed, st.Failed, st.Cancelled, st.Rejected, st.PeakThreads, budget)
+	fmt.Printf("  plan cache:     %d hits, %d misses\n", st.PlanCacheHits, st.PlanCacheMisses)
 	if failures > 0 {
 		os.Exit(1)
 	}

@@ -76,7 +76,14 @@ func TestQueryContextCancel(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	_, err := db.QueryContext(ctx, heavy, &Options{JoinAlgo: "nested-loop", Threads: 2})
+	err := func() error {
+		rows, err := db.QueryContext(ctx, heavy, &Options{JoinAlgo: "nested-loop", Threads: 2})
+		if err != nil {
+			return err
+		}
+		_, err = rows.All()
+		return err
+	}()
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -112,7 +119,7 @@ func TestManagerFeedbackLoop(t *testing.T) {
 	probe := "SELECT unique2 FROM wisc WHERE unique1 < 10000"
 
 	// Baseline: the probe alone on an idle manager.
-	alone, err := db.Query(probe, nil)
+	alone, err := db.QueryAll(probe, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +137,10 @@ func TestManagerFeedbackLoop(t *testing.T) {
 	go func() {
 		defer close(bgDone)
 		heavy := "SELECT * FROM bigA JOIN bigB ON bigA.unique2 = bigB.unique2"
-		db.QueryContext(bgCtx, heavy, &Options{JoinAlgo: "nested-loop", Threads: 2})
+		rows, err := db.QueryContext(bgCtx, heavy, &Options{JoinAlgo: "nested-loop", Threads: 2})
+		if err == nil {
+			rows.All() // drains until the cancellation aborts the query
+		}
 	}()
 	deadline := time.Now().Add(10 * time.Second)
 	for m.Stats().ThreadsInFlight < 2 {
@@ -144,13 +154,13 @@ func TestManagerFeedbackLoop(t *testing.T) {
 	// threads, so each measures utilization > 0 and shrinks.
 	const K = 4
 	var wg sync.WaitGroup
-	results := make([]*Rows, K)
+	results := make([]*Result, K)
 	errs := make([]error, K)
 	for i := 0; i < K; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = db.Query(probe, nil)
+			results[i], errs[i] = db.QueryAll(probe, nil)
 		}(i)
 	}
 	wg.Wait()
@@ -210,7 +220,7 @@ func TestConcurrentQueryCreateStress(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
-				rows, err := db.Query("SELECT two, COUNT(*) FROM wisc WHERE two = 0 GROUP BY two", nil)
+				rows, err := db.QueryAll("SELECT two, COUNT(*) FROM wisc WHERE two = 0 GROUP BY two", nil)
 				if err != nil {
 					t.Error(err)
 					return

@@ -29,19 +29,20 @@ func (db *Database) LoadCSV(name string, r io.Reader, key string, degree int) er
 	return db.register(p, h)
 }
 
-// DumpCSV writes a registered relation (or query output stored back via
-// Query) as CSV.
+// DumpCSV writes a registered relation as CSV.
 func (db *Database) DumpCSV(name string, w io.Writer) error {
+	db.mu.RLock()
 	p, ok := db.rels[name]
+	db.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("dbs3: no relation %q", name)
 	}
 	return p.Union().WriteCSV(w)
 }
 
-// String renders the rows as an aligned text table with a footer of
-// scheduling statistics — what cmd/dbs3 prints.
-func (r *Rows) String() string {
+// String renders the materialized result as an aligned text table with the
+// FormatStats footer of scheduling statistics.
+func (r *Result) String() string {
 	var b strings.Builder
 	widths := make([]int, len(r.Columns))
 	for i, c := range r.Columns {
@@ -71,10 +72,6 @@ func (r *Rows) String() string {
 	for _, row := range cells {
 		writeRow(row)
 	}
-	fmt.Fprintf(&b, "(%d rows, %d threads)\n", len(r.Data), r.Threads)
-	for _, op := range r.Operators {
-		fmt.Fprintf(&b, "  %-12s threads=%-3d strategy=%-6s instances=%-5d activations=%-8d emitted=%-8d secondary=%d\n",
-			op.Name, op.Threads, op.Strategy, op.Instances, op.Activations, op.Emitted, op.SecondaryPicks)
-	}
+	b.WriteString(FormatStats(len(r.Data), r.Threads, r.Operators))
 	return b.String()
 }

@@ -22,7 +22,7 @@ func TestLoadCSVAndQuery(t *testing.T) {
 	if card, _ := db.Cardinality("orders"); card != 6 {
 		t.Fatalf("cardinality = %d", card)
 	}
-	rows, err := db.Query("SELECT customer, SUM(amount) FROM orders GROUP BY customer", nil)
+	rows, err := db.QueryAll("SELECT customer, SUM(amount) FROM orders GROUP BY customer", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,12 +69,12 @@ func TestDumpCSVRoundTrip(t *testing.T) {
 	}
 }
 
-func TestRowsString(t *testing.T) {
+func TestResultString(t *testing.T) {
 	db := New()
 	if err := db.LoadCSV("orders", strings.NewReader(ordersCSV), "order", 2); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := db.Query("SELECT customer, amount FROM orders WHERE amount > 60", &Options{Threads: 2})
+	rows, err := db.QueryAll("SELECT customer, amount FROM orders WHERE amount > 60", &Options{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

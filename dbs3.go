@@ -14,13 +14,33 @@
 // strategy, join algorithm). The building blocks live under internal/: the
 // Lera-par plan layer, the parallel engine, the storage substrate, the
 // analytical model and the virtual-time simulator that regenerates the
-// paper's figures (see DESIGN.md and EXPERIMENTS.md).
+// paper's figures. DESIGN.md documents the layering and lifecycles.
 //
 // Quickstart:
 //
 //	db := dbs3.New()
 //	db.CreateWisconsin("wisc", 10000, 16, "unique2", 42)
 //	rows, err := db.Query("SELECT unique2 FROM wisc WHERE unique1 < 100", nil)
+//	defer rows.Close()
+//	for rows.Next() {
+//		var u int64
+//		rows.Scan(&u)
+//	}
+//
+// # Prepared statements and streaming cursors
+//
+// Queries compile once and execute many times. Database.Prepare returns a
+// *Stmt holding the bound parallel plan; Stmt.QueryContext reuses it against
+// the current catalog, skipping lexing, parsing and planning entirely.
+// Ad-hoc Query/QueryContext calls hit an internal LRU plan cache keyed on
+// SQL text + join algorithm, so a serving workload that repeats statements
+// gets the same amortization transparently (PlanCacheStats, and the
+// manager's Stats, expose the hit/miss counters).
+//
+// Results stream: QueryContext returns a *Rows cursor whose rows arrive as
+// the engine's final store node produces them, through a bounded sink that
+// applies backpressure to the producing threads. Rows.All materializes the
+// remainder for callers that want the whole table (see also QueryAll).
 //
 // # Concurrency & the QueryManager
 //
@@ -33,14 +53,15 @@
 //	db.Manager(dbs3.ManagerConfig{Budget: 16})
 //	rows, err := db.QueryContext(ctx, "SELECT ...", nil)
 //
-// The manager admits queries through a bounded queue, reserves each
-// query's thread allocation against the shared budget before it starts,
-// and — closing the paper's [Rahm93] loop — feeds each admitted query's
-// scheduler a Utilization *measured* from the threads concurrent queries
-// actually hold, so auto-chosen parallelism shrinks under load to favor
-// multi-user throughput. QueryContext and ExplainContext propagate
-// cancellation into the engine: a cancelled query drains its operation
-// pools and frees its threads promptly.
+// The manager admits queries through a bounded two-class queue (interactive
+// before batch, with aging — see Options.Priority), reserves each query's
+// thread allocation against the shared budget before it starts, and —
+// closing the paper's [Rahm93] loop — feeds each admitted query's scheduler
+// a Utilization *measured* from the threads concurrent queries actually
+// hold, smoothed by an EWMA over recently completed queries. QueryContext
+// propagates cancellation into the engine, and closing a cursor mid-result
+// does the same: the query drains its operation pools and its threads are
+// back in the budget when Close returns.
 package dbs3
 
 import (
@@ -48,9 +69,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dbs3/internal/core"
-	"dbs3/internal/esql"
 	"dbs3/internal/lera"
 	"dbs3/internal/partition"
 	"dbs3/internal/relation"
@@ -66,11 +87,20 @@ type Database struct {
 	rels     core.DB
 	resolver lera.MapResolver
 	manager  *dbruntime.Manager
+
+	// cache is the LRU plan cache behind Prepare and ad-hoc queries; epoch
+	// is the catalog version, bumped on DDL so stale plans miss.
+	cache *planCache
+	epoch atomic.Uint64
 }
 
 // New creates an empty database.
 func New() *Database {
-	return &Database{rels: make(core.DB), resolver: make(lera.MapResolver)}
+	return &Database{
+		rels:     make(core.DB),
+		resolver: make(lera.MapResolver),
+		cache:    newPlanCache(planCacheCap),
+	}
 }
 
 // ManagerConfig sizes the query manager installed by Database.Manager.
@@ -80,6 +110,11 @@ type ManagerConfig struct {
 	Budget int
 	// MaxQueued bounds the admission queue; 0 defaults to 4*Budget.
 	MaxQueued int
+	// BatchAging bounds batch starvation: after this many consecutive
+	// interactive admissions while a batch query waited, the batch head
+	// is served next as soon as its threads fit the free budget — and
+	// after twice this many, unconditionally. 0 defaults to 4.
+	BatchAging int
 }
 
 // Manager installs a QueryManager sized by cfg and returns it. Once
@@ -88,7 +123,7 @@ type ManagerConfig struct {
 // utilization measured from the others' allocated threads. Installing a
 // new manager replaces the previous one for future queries.
 func (db *Database) Manager(cfg ManagerConfig) *dbruntime.Manager {
-	m := dbruntime.NewManager(dbruntime.Config{Budget: cfg.Budget, MaxQueued: cfg.MaxQueued})
+	m := dbruntime.NewManager(dbruntime.Config{Budget: cfg.Budget, MaxQueued: cfg.MaxQueued, BatchAging: cfg.BatchAging})
 	db.mu.Lock()
 	db.manager = m
 	db.mu.Unlock()
@@ -154,24 +189,43 @@ func (db *Database) register(p *partition.Partitioned, part partition.Func) erro
 		FragSizes: p.FragmentSizes(),
 		Part:      part,
 	}
+	// DDL invalidates cached plans: they were bound against the old catalog.
+	db.epoch.Add(1)
 	return nil
 }
 
-// snapshot copies the catalog under the read lock so a query's compile and
-// execution never race with concurrent relation creation. The copies share
-// the (immutable) partitioned relations, so they are cheap.
-func (db *Database) snapshot() (core.DB, lera.MapResolver, *dbruntime.Manager) {
+// currentManager reads the installed manager under the read lock.
+func (db *Database) currentManager() *dbruntime.Manager {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.manager
+}
+
+// snapshotRels copies the relation catalog (and reads the installed
+// manager) under the read lock so an execution never races concurrent
+// relation creation. The copy shares the immutable partitioned relations,
+// so it is cheap — but it is still per-execution work, which is why the
+// resolver (only needed at compile time) is snapshotted separately.
+func (db *Database) snapshotRels() (core.DB, *dbruntime.Manager) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	rels := make(core.DB, len(db.rels))
 	for k, v := range db.rels {
 		rels[k] = v
 	}
+	return rels, db.manager
+}
+
+// snapshotResolver copies the binding resolver under the read lock for a
+// compile that must not race relation creation.
+func (db *Database) snapshotResolver() lera.MapResolver {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	resolver := make(lera.MapResolver, len(db.resolver))
 	for k, v := range db.resolver {
 		resolver[k] = v
 	}
-	return rels, resolver, db.manager
+	return resolver
 }
 
 // CreateWisconsin generates a Wisconsin benchmark relation [Bitton83] of the
@@ -245,6 +299,15 @@ type Options struct {
 	// already are; auto-chosen parallelism shrinks accordingly for
 	// multi-user throughput [Rahm93].
 	Utilization float64
+	// Priority is the admission class under a QueryManager: "interactive"
+	// (default) is served ahead of "batch" at the admission queue, with
+	// aging so batch is never starved. Ignored without a manager.
+	Priority string
+	// StreamBuffer is the bounded row-sink capacity between the engine and
+	// the Rows cursor (0 = a small default). Smaller values bound result
+	// memory tighter and apply backpressure sooner; larger values decouple
+	// producer and consumer more.
+	StreamBuffer int
 }
 
 func (o *Options) strategy() (core.StrategyKind, error) {
@@ -279,6 +342,20 @@ func (o *Options) joinAlgo() (lera.JoinAlgo, error) {
 	}
 }
 
+func (o *Options) priority() (dbruntime.Priority, error) {
+	if o == nil {
+		return dbruntime.PriorityInteractive, nil
+	}
+	switch o.Priority {
+	case "", "interactive":
+		return dbruntime.PriorityInteractive, nil
+	case "batch":
+		return dbruntime.PriorityBatch, nil
+	default:
+		return 0, fmt.Errorf("dbs3: unknown priority %q (interactive, batch)", o.Priority)
+	}
+}
+
 // OperatorStats summarizes one operator's execution.
 type OperatorStats struct {
 	// Name is the plan node name (filter, join, store, ...).
@@ -294,105 +371,55 @@ type OperatorStats struct {
 	Activations, Emitted, SecondaryPicks int64
 }
 
-// Rows is a query result: plain Go values plus execution statistics.
-type Rows struct {
-	// Columns names the result columns.
-	Columns []string
-	// Data holds one row per slice; values are int64 or string.
-	Data [][]any
-	// Threads is the total degree of parallelism used.
-	Threads int
-	// Utilization is the processor utilization the scheduler saw: the
-	// Options value, or — when a QueryManager is installed — the measured
-	// concurrent load at admission if higher.
-	Utilization float64
-	// Operators reports per-operator scheduling statistics.
-	Operators []OperatorStats
-}
-
-// Query compiles and executes one ESQL statement. The supported subset:
+// Query compiles (or reuses a cached plan for) and executes one ESQL
+// statement with a background context, returning a streaming cursor. The
+// supported subset:
 //
 //	SELECT */cols/agg FROM rel
 //	  [JOIN rel2 ON rel.col = rel2.col]
 //	  [WHERE predicate]
 //	  [GROUP BY cols]
+//
+// Close the returned cursor (or drain it) — an abandoned open cursor pins
+// its query's threads on sink backpressure.
 func (db *Database) Query(sql string, opt *Options) (*Rows, error) {
 	return db.QueryContext(context.Background(), sql, opt)
 }
 
-// QueryContext is Query under a context: cancelling ctx aborts the running
-// operations, which drain and free their threads promptly, and the call
-// returns ctx.Err(). When a QueryManager is installed the query is admitted
-// through it and executes under the shared thread budget.
+// QueryContext executes one ESQL statement under a context and returns a
+// streaming cursor: rows arrive through Rows.Next as the engine produces
+// them, before the result is complete. Cancelling ctx — or closing the
+// cursor — aborts the running operations, which drain and free their
+// threads promptly. When a QueryManager is installed the query is admitted
+// through it (under Options.Priority) and executes under the shared thread
+// budget; the reservation returns to the budget the moment the execution
+// ends, including a mid-result Close.
+//
+// Compilation goes through the database's LRU plan cache, so a repeated
+// statement (same SQL and join algorithm) skips lexing, parsing and
+// planning; use Prepare to hold the compiled plan explicitly.
 func (db *Database) QueryContext(ctx context.Context, sql string, opt *Options) (*Rows, error) {
-	strat, err := opt.strategy()
+	stmt, err := db.Prepare(sql, opt)
 	if err != nil {
 		return nil, err
 	}
-	algo, err := opt.joinAlgo()
+	return stmt.QueryContext(ctx)
+}
+
+// QueryAll is the materialized convenience path — the pre-cursor API shape:
+// it runs QueryContext and drains the cursor into a Result. Prefer the
+// cursor for large results; QueryAll holds the whole table in memory.
+func (db *Database) QueryAll(sql string, opt *Options) (*Result, error) {
+	return db.QueryAllContext(context.Background(), sql, opt)
+}
+
+// QueryAllContext is QueryAll under a context.
+func (db *Database) QueryAllContext(ctx context.Context, sql string, opt *Options) (*Result, error) {
+	rows, err := db.QueryContext(ctx, sql, opt)
 	if err != nil {
 		return nil, err
 	}
-	rels, resolver, manager := db.snapshot()
-	c := &esql.Compiler{Resolver: resolver, JoinAlgo: algo}
-	plan, _, err := c.Compile(sql)
-	if err != nil {
-		return nil, err
-	}
-	var threads, grain int
-	var utilization float64
-	if opt != nil {
-		threads, grain, utilization = opt.Threads, opt.Grain, opt.Utilization
-	}
-	copts := core.Options{
-		Threads:      threads,
-		Strategy:     strat,
-		TriggerGrain: grain,
-		Utilization:  utilization,
-	}
-	var res *core.Result
-	if manager != nil {
-		var qs dbruntime.QueryStats
-		res, qs, err = manager.Execute(ctx, plan, rels, copts)
-		utilization = qs.Utilization
-	} else {
-		res, err = core.ExecuteContext(ctx, plan, rels, copts)
-	}
-	if err != nil {
-		return nil, err
-	}
-	out, err := res.Relation(esql.OutputName)
-	if err != nil {
-		return nil, err
-	}
-	rows := &Rows{Threads: res.Alloc.Total, Utilization: utilization}
-	for i := 0; i < out.Schema.Len(); i++ {
-		rows.Columns = append(rows.Columns, out.Schema.Column(i).Name)
-	}
-	for _, t := range out.Tuples {
-		row := make([]any, len(t))
-		for i, v := range t {
-			if v.Kind() == relation.TInt {
-				row[i] = v.AsInt()
-			} else {
-				row[i] = v.AsString()
-			}
-		}
-		rows.Data = append(rows.Data, row)
-	}
-	for _, id := range plan.Order {
-		st := res.Stats[id]
-		rows.Operators = append(rows.Operators, OperatorStats{
-			Name:           plan.Graph.Nodes[id].Name,
-			Threads:        res.Alloc.Node[id],
-			Strategy:       res.Alloc.Strategy[id].String(),
-			Instances:      plan.Nodes[id].Degree,
-			Activations:    st.Activations.Load(),
-			Emitted:        st.Emitted.Load(),
-			SecondaryPicks: st.SecondaryPicks.Load(),
-		})
-	}
-	return rows, nil
+	return rows.All()
 }
 
 // Explain compiles a statement and returns its parallel plan in Graphviz DOT
@@ -402,20 +429,15 @@ func (db *Database) Explain(sql string, opt *Options) (string, error) {
 }
 
 // ExplainContext is Explain under a context (compilation is quick; the
-// context is checked once for early cancellation).
+// context is checked once for early cancellation). It shares the plan cache
+// with Query and Prepare.
 func (db *Database) ExplainContext(ctx context.Context, sql string, opt *Options) (string, error) {
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
-	algo, err := opt.joinAlgo()
+	prep, err := db.prepare(sql, opt)
 	if err != nil {
 		return "", err
 	}
-	_, resolver, _ := db.snapshot()
-	c := &esql.Compiler{Resolver: resolver, JoinAlgo: algo}
-	_, g, err := c.Compile(sql)
-	if err != nil {
-		return "", err
-	}
-	return g.Dot(), nil
+	return prep.graph.Dot(), nil
 }

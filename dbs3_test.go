@@ -71,7 +71,7 @@ func TestFacadeCreateErrors(t *testing.T) {
 
 func TestFacadeSelection(t *testing.T) {
 	db := facadeDB(t)
-	rows, err := db.Query("SELECT unique2 FROM wisc WHERE unique1 < 100", nil)
+	rows, err := db.QueryAll("SELECT unique2 FROM wisc WHERE unique1 < 100", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestFacadeJoin(t *testing.T) {
 		{Threads: 8, Strategy: "lpt", JoinAlgo: "nested-loop"},
 		{JoinAlgo: "temp-index"},
 	} {
-		rows, err := db.Query("SELECT * FROM A JOIN B ON A.k = B.k", opt)
+		rows, err := db.QueryAll("SELECT * FROM A JOIN B ON A.k = B.k", opt)
 		if err != nil {
 			t.Fatalf("opt=%+v: %v", opt, err)
 		}
@@ -112,7 +112,7 @@ func TestFacadeJoin(t *testing.T) {
 
 func TestFacadeRepartitionedJoin(t *testing.T) {
 	db := facadeDB(t)
-	rows, err := db.Query("SELECT A.id FROM A JOIN Br ON A.k = Br.k WHERE Br.id < 50", &Options{Threads: 4})
+	rows, err := db.QueryAll("SELECT A.id FROM A JOIN Br ON A.k = Br.k WHERE Br.id < 50", &Options{Threads: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestFacadeRepartitionedJoin(t *testing.T) {
 
 func TestFacadeGroupBy(t *testing.T) {
 	db := facadeDB(t)
-	rows, err := db.Query("SELECT ten, COUNT(*) FROM wisc GROUP BY ten", nil)
+	rows, err := db.QueryAll("SELECT ten, COUNT(*) FROM wisc GROUP BY ten", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestFacadeGroupBy(t *testing.T) {
 
 func TestFacadeStrings(t *testing.T) {
 	db := facadeDB(t)
-	rows, err := db.Query("SELECT string4 FROM wisc WHERE string4 = 'AAAAxxxx'", nil)
+	rows, err := db.QueryAll("SELECT string4 FROM wisc WHERE string4 = 'AAAAxxxx'", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,13 +165,13 @@ func TestFacadeStrings(t *testing.T) {
 
 func TestFacadeOptionValidation(t *testing.T) {
 	db := facadeDB(t)
-	if _, err := db.Query("SELECT * FROM A", &Options{Strategy: "bogus"}); err == nil {
+	if _, err := db.QueryAll("SELECT * FROM A", &Options{Strategy: "bogus"}); err == nil {
 		t.Error("bad strategy accepted")
 	}
-	if _, err := db.Query("SELECT * FROM A", &Options{JoinAlgo: "bogus"}); err == nil {
+	if _, err := db.QueryAll("SELECT * FROM A", &Options{JoinAlgo: "bogus"}); err == nil {
 		t.Error("bad join algorithm accepted")
 	}
-	if _, err := db.Query("SELEKT", nil); err == nil {
+	if _, err := db.QueryAll("SELEKT", nil); err == nil {
 		t.Error("bad SQL accepted")
 	}
 }
@@ -202,11 +202,11 @@ func TestFacadeStrategiesAgree(t *testing.T) {
 	if err := db.CreateJoinPair("s", 2000, 200, 20, 1); err != nil {
 		t.Fatal(err)
 	}
-	random, err := db.Query("SELECT sA.id FROM sA JOIN sB ON sA.k = sB.k", &Options{Threads: 6, Strategy: "random"})
+	random, err := db.QueryAll("SELECT sA.id FROM sA JOIN sB ON sA.k = sB.k", &Options{Threads: 6, Strategy: "random"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	lpt, err := db.Query("SELECT sA.id FROM sA JOIN sB ON sA.k = sB.k", &Options{Threads: 6, Strategy: "lpt"})
+	lpt, err := db.QueryAll("SELECT sA.id FROM sA JOIN sB ON sA.k = sB.k", &Options{Threads: 6, Strategy: "lpt"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,18 +226,18 @@ func TestFacadeStrategiesAgree(t *testing.T) {
 
 func TestFacadeGrainOption(t *testing.T) {
 	db := facadeDB(t)
-	whole, err := db.Query("SELECT * FROM A JOIN B ON A.k = B.k", &Options{Threads: 4, JoinAlgo: "nested-loop"})
+	whole, err := db.QueryAll("SELECT * FROM A JOIN B ON A.k = B.k", &Options{Threads: 4, JoinAlgo: "nested-loop"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fine, err := db.Query("SELECT * FROM A JOIN B ON A.k = B.k", &Options{Threads: 4, JoinAlgo: "nested-loop", Grain: 3})
+	fine, err := db.QueryAll("SELECT * FROM A JOIN B ON A.k = B.k", &Options{Threads: 4, JoinAlgo: "nested-loop", Grain: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(whole.Data) != len(fine.Data) {
 		t.Fatalf("grain changed the result: %d vs %d rows", len(whole.Data), len(fine.Data))
 	}
-	acts := func(r *Rows) int64 {
+	acts := func(r *Result) int64 {
 		for _, op := range r.Operators {
 			if op.Name == "join" {
 				return op.Activations
@@ -252,11 +252,11 @@ func TestFacadeGrainOption(t *testing.T) {
 
 func TestFacadeUtilizationOption(t *testing.T) {
 	db := facadeDB(t)
-	idle, err := db.Query("SELECT * FROM A JOIN B ON A.k = B.k", &Options{JoinAlgo: "nested-loop"})
+	idle, err := db.QueryAll("SELECT * FROM A JOIN B ON A.k = B.k", &Options{JoinAlgo: "nested-loop"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	busy, err := db.Query("SELECT * FROM A JOIN B ON A.k = B.k", &Options{JoinAlgo: "nested-loop", Utilization: 0.9})
+	busy, err := db.QueryAll("SELECT * FROM A JOIN B ON A.k = B.k", &Options{JoinAlgo: "nested-loop", Utilization: 0.9})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,12 +38,12 @@ func main() {
 	fmt.Print(dot)
 
 	for _, sql := range []string{ideal, assoc} {
-		rows, err := db.Query(sql, &dbs3.Options{Threads: 4})
+		res, err := db.QueryAll(sql, &dbs3.Options{Threads: 4})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\n%s\n-> %d rows, operators:", sql, len(rows.Data))
-		for _, op := range rows.Operators {
+		fmt.Printf("\n%s\n-> %d rows, operators:", sql, len(res.Data))
+		for _, op := range res.Operators {
 			fmt.Printf(" %s(x%d)", op.Name, op.Threads)
 		}
 		fmt.Println()

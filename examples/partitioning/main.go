@@ -46,9 +46,18 @@ func main() {
 		if err := db.CreateJoinPair("", 24_000, 2_400, d, 0.8); err != nil {
 			log.Fatal(err)
 		}
+		// The cursor streams the join result; we only need the row count,
+		// so drain it without materializing.
 		rows, err := db.Query("SELECT * FROM A JOIN B ON A.k = B.k",
 			&dbs3.Options{Threads: 6, Strategy: "lpt", JoinAlgo: "nested-loop"})
 		if err != nil {
+			log.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		if err := rows.Err(); err != nil {
 			log.Fatal(err)
 		}
 		sizes, _ := db.FragmentSizes("A")
@@ -59,12 +68,12 @@ func main() {
 			}
 		}
 		var join dbs3.OperatorStats
-		for _, op := range rows.Operators {
+		for _, op := range rows.Operators() {
 			if op.Name == "join" {
 				join = op
 			}
 		}
 		fmt.Printf("  d=%3d: %d rows, join pool=%d threads over %d instances, largest fragment=%d tuples\n",
-			d, len(rows.Data), join.Threads, join.Instances, maxFrag)
+			d, n, join.Threads, join.Instances, maxFrag)
 	}
 }

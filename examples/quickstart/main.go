@@ -1,6 +1,7 @@
 // Quickstart: create a Wisconsin relation and the paper's join pair, then
 // run a selection, a co-partitioned join and a grouped aggregate through the
-// adaptive parallel execution engine.
+// adaptive parallel execution engine — using the serving-scale API: prepared
+// statements (compile once, execute many) and streaming row cursors.
 package main
 
 import (
@@ -22,34 +23,58 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 1. A parallel selection (triggered filter over 16 fragments).
-	rows, err := db.Query("SELECT unique1, unique2 FROM wisc WHERE unique1 < 5", nil)
+	// 1. A parallel selection (triggered filter over 16 fragments), prepared
+	// once and iterated with the cursor: rows stream out of the engine as
+	// the filter instances produce them.
+	stmt, err := db.Prepare("SELECT unique1, unique2 FROM wisc WHERE unique1 < 5", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("selection: %d rows on %d threads\n", len(rows.Data), rows.Threads)
-	for _, r := range rows.Data {
-		fmt.Printf("  unique1=%v unique2=%v\n", r[0], r[1])
+	rows, err := stmt.Query()
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("selection on %d threads:\n", rows.Threads())
+	for rows.Next() {
+		var u1, u2 int64
+		if err := rows.Scan(&u1, &u2); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  unique1=%d unique2=%d\n", u1, u2)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	rows.Close()
 
 	// 2. A co-partitioned join: the compiler recognizes that A and B are
-	// both partitioned on k and emits the triggered IdealJoin plan.
-	rows, err = db.Query("SELECT * FROM A JOIN B ON A.k = B.k", &dbs3.Options{Threads: 8})
+	// both partitioned on k and emits the triggered IdealJoin plan. All()
+	// materializes the stream for callers that want the whole table.
+	res, err := db.QueryAll("SELECT * FROM A JOIN B ON A.k = B.k", &dbs3.Options{Threads: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nideal join: %d rows on %d threads\n", len(rows.Data), rows.Threads)
-	for _, op := range rows.Operators {
+	fmt.Printf("\nideal join: %d rows on %d threads\n", len(res.Data), res.Threads)
+	for _, op := range res.Operators {
 		fmt.Printf("  %-10s threads=%d strategy=%s activations=%d\n", op.Name, op.Threads, op.Strategy, op.Activations)
 	}
 
-	// 3. A grouped aggregate (pipelined, redistributed on the group key).
+	// 3. A grouped aggregate (pipelined, redistributed on the group key),
+	// again through the cursor.
 	rows, err = db.Query("SELECT ten, COUNT(*) FROM wisc GROUP BY ten", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ngroup by: %d groups\n", len(rows.Data))
-	for _, r := range rows.Data {
-		fmt.Printf("  ten=%v count=%v\n", r[0], r[1])
+	defer rows.Close()
+	fmt.Printf("\ngroup by:\n")
+	for rows.Next() {
+		var ten, count int64
+		if err := rows.Scan(&ten, &count); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  ten=%d count=%d\n", ten, count)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
 	}
 }

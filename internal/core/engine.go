@@ -54,6 +54,26 @@ type Options struct {
 	Utilization   float64
 	// CostModel weighs plan complexity estimation; zero value = defaults.
 	CostModel *lera.CostModel
+	// StreamOutput names a store output to stream instead of materialize:
+	// the store node's tuples are handed to Sink as its instances produce
+	// them and never collected into Result.Outputs. The named output must
+	// not be read by any other node of the plan (it is the query's final
+	// result, not an intermediate materialization point). Empty = every
+	// store materializes (the paper's model).
+	StreamOutput string
+	// Sink receives the StreamOutput tuples; required when StreamOutput is
+	// set. Push is called concurrently from pool threads and may block —
+	// bounded-sink backpressure suspends the producing threads. A Push
+	// error aborts the execution.
+	Sink RowSink
+}
+
+// RowSink consumes the tuples of a streamed store output as the engine
+// produces them (see Options.StreamOutput).
+type RowSink interface {
+	// Push delivers one tuple; must be safe for concurrent use. Returning
+	// an error aborts the execution (the cursor-close path).
+	Push(t relation.Tuple) error
 }
 
 func (o Options) withDefaults() Options {
@@ -145,6 +165,9 @@ func PlanAllocation(plan *lera.Plan, db DB, opts Options) (Allocation, error) {
 func ExecuteAllocated(ctx context.Context, plan *lera.Plan, db DB, opts Options, alloc Allocation) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := checkDB(plan, db); err != nil {
+		return nil, err
+	}
+	if err := checkStream(plan, opts); err != nil {
 		return nil, err
 	}
 	// Working copy: store outputs become visible to later chains.
@@ -251,6 +274,30 @@ func chainDeps(plan *lera.Plan, chain []int) []string {
 		}
 	}
 	return out
+}
+
+// checkStream validates the streaming options: the streamed output must be a
+// terminal result, never an intermediate read back by another chain — a
+// streamed store leaves nothing behind for a consumer to scan.
+func checkStream(plan *lera.Plan, opts Options) error {
+	if opts.StreamOutput == "" {
+		return nil
+	}
+	if opts.Sink == nil {
+		return fmt.Errorf("core: StreamOutput %q set without a Sink", opts.StreamOutput)
+	}
+	if _, ok := plan.Outputs[opts.StreamOutput]; !ok {
+		return fmt.Errorf("core: StreamOutput %q is not a store output of the plan", opts.StreamOutput)
+	}
+	for _, bn := range plan.Nodes {
+		n := bn.Node
+		for _, rel := range []string{n.Rel, n.BuildRel, n.ProbeRel} {
+			if rel == opts.StreamOutput {
+				return fmt.Errorf("core: cannot stream output %q: node %s reads it", opts.StreamOutput, n.Name)
+			}
+		}
+	}
+	return nil
 }
 
 // checkDB verifies that the database provides what the plan was bound
@@ -509,8 +556,12 @@ func buildOperation(plan *lera.Plan, id int, db DB, alloc Allocation, opts Optio
 	case lera.OpAggregate:
 		op = &operator.Aggregate{GroupBy: bn.GroupIdx, Kind: n.Agg, AggCol: bn.AggIdx}
 	case lera.OpStore:
-		store = operator.NewStore(degree)
-		op = store
+		if n.As == opts.StreamOutput && opts.Sink != nil {
+			op = &operator.Sink{Push: opts.Sink.Push}
+		} else {
+			store = operator.NewStore(degree)
+			op = store
+		}
 	default:
 		return nil, nil, fmt.Errorf("core: unsupported node kind %v", n.Kind)
 	}

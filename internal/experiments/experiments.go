@@ -3,7 +3,7 @@
 // cost model. Each FigNN function returns the figure's data series; the
 // bench harness (bench_test.go, cmd/dbs3-bench) prints them, and the package
 // tests assert the paper's shape claims (who wins, by how much, where the
-// crossovers fall). EXPERIMENTS.md records paper-vs-measured for each.
+// crossovers fall).
 package experiments
 
 import (

@@ -170,6 +170,28 @@ func (s *Store) Results() [][]relation.Tuple {
 	return s.results
 }
 
+// Sink terminates a pipeline chain like Store, but hands each tuple to an
+// external consumer as it arrives instead of accumulating fragments — the
+// engine-side half of a streaming row cursor. Push may block (bounded-buffer
+// backpressure propagates into the producing pool threads) and its error
+// aborts the operation, which is how closing a cursor mid-result unwinds the
+// execution.
+type Sink struct {
+	nopSetup
+	nopClose
+	// Push delivers one result tuple; it must be safe for concurrent calls
+	// (any pool thread can execute any instance's activation).
+	Push func(t relation.Tuple) error
+}
+
+// OnTrigger implements Operator.
+func (s *Sink) OnTrigger(*Context, Emit) error { return errNoTrigger("sink") }
+
+// OnTuple implements Operator.
+func (s *Sink) OnTuple(_ *Context, t relation.Tuple, _ Emit) error {
+	return s.Push(t)
+}
+
 // keyOf renders the projected key columns as a canonical map key.
 func keyOf(t relation.Tuple, cols []int) string {
 	return t.Project(cols).Key()

@@ -5,7 +5,16 @@
 // of the Figure 5 scheduler uses to shrink a query's degree of parallelism
 // "to increase the multi-user throughput" is no longer a hand-set constant
 // but is measured from the threads currently allocated to other queries at
-// admission time.
+// admission time, smoothed by an EWMA over recently completed queries so the
+// signal stays informative between bursts.
+//
+// Admission is split into two halves so callers can stream results: Admit
+// reserves the query's thread allocation against the budget and returns an
+// Admission; the caller runs core.ExecuteAllocated at its leisure (possibly
+// feeding a row cursor) and calls Admission.Finish when the execution ends —
+// including when a client closes its cursor mid-result, which is how
+// streaming queries hand threads back early. Execute remains the one-call
+// convenience wrapper.
 package runtime
 
 import (
@@ -26,6 +35,34 @@ var ErrQueueFull = errors.New("runtime: admission queue full")
 // ErrClosed is returned for queries submitted to a closed manager.
 var ErrClosed = errors.New("runtime: manager closed")
 
+// Priority is a query's admission class. Interactive queries are served
+// ahead of batch queries at the ticket line; aging guarantees batch is never
+// starved (see Config.BatchAging).
+type Priority int
+
+const (
+	// PriorityInteractive is the default class: short, latency-sensitive
+	// queries served first.
+	PriorityInteractive Priority = iota
+	// PriorityBatch marks long, throughput-oriented queries that yield to
+	// interactive traffic.
+	PriorityBatch
+
+	priorityCount
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case PriorityInteractive:
+		return "interactive"
+	case PriorityBatch:
+		return "batch"
+	default:
+		return "unknown"
+	}
+}
+
 // Config sizes a QueryManager.
 type Config struct {
 	// Budget is the machine-wide thread budget shared by all concurrent
@@ -33,67 +70,116 @@ type Config struct {
 	// in-flight queries never exceeds it.
 	Budget int
 	// MaxQueued bounds the admission queue: queries beyond it are rejected
-	// with ErrQueueFull instead of waiting. 0 defaults to 4*Budget.
+	// with ErrQueueFull instead of waiting. A quarter of the bound (when
+	// it is at least 4) is reserved for interactive arrivals — batch
+	// queries are rejected earlier so a batch flood cannot shed the
+	// latency-sensitive class. 0 defaults to 4*Budget.
 	MaxQueued int
+	// BatchAging bounds batch starvation: after this many consecutive
+	// interactive admissions while a batch query waited, the batch head is
+	// served next as soon as its threads fit the free budget; after twice
+	// this many, it is served next unconditionally — blocking the line
+	// until its threads accumulate. 0 defaults to 4.
+	BatchAging int
 }
 
 // Stats is a snapshot of the manager's aggregate counters.
 type Stats struct {
 	// Admitted, Completed, Failed, Cancelled and Rejected count queries
-	// over the manager's lifetime. Failed counts execution errors (bad
-	// data, missing relations); Cancelled counts context cancellations
-	// both while queued and mid-execution; Rejected counts ErrQueueFull
-	// sheds. Admitted = Completed + Failed + Cancelled-during-execution
-	// + Active once drained.
+	// over the manager's lifetime. Failed counts both planning errors at
+	// the admission point (bad data, missing relations — these never
+	// reach Admitted) and execution errors; Cancelled counts context
+	// cancellations both while queued and mid-execution (cursor Close
+	// mid-result lands here too); Rejected counts ErrQueueFull sheds.
+	// Admitted = Completed + Failed-during-execution +
+	// Cancelled-during-execution + Active once drained.
 	Admitted, Completed, Failed, Cancelled, Rejected int64
 	// Queued and Active are the current admission-queue length and the
-	// number of queries executing right now.
-	Queued, Active int
+	// number of queries executing right now. QueuedInteractive and
+	// QueuedBatch split Queued by priority class.
+	Queued, QueuedInteractive, QueuedBatch, Active int
 	// ThreadsInFlight is the thread count currently allocated across active
 	// queries; PeakThreads is its lifetime high-water mark (always <= the
 	// budget).
 	ThreadsInFlight, PeakThreads int
+	// SmoothedUtilization is the EWMA over recently completed queries'
+	// leftover utilization — the slow half of the admission feedback
+	// signal.
+	SmoothedUtilization float64
+	// PlanCacheHits and PlanCacheMisses count the facade's plan-cache
+	// outcomes — every statement resolution while this manager was
+	// installed, including Prepare and EXPLAIN, not just executed
+	// queries. They measure compilations avoided, so they are not
+	// comparable 1:1 with Admitted (a prepared statement resolves once
+	// and executes many times).
+	PlanCacheHits, PlanCacheMisses int64
 }
 
 // QueryStats describes one admitted query's passage through the manager —
 // the per-query half of the feedback loop.
 type QueryStats struct {
-	// Utilization is the measured processor utilization fed to the
-	// scheduler: threads already allocated to other queries divided by the
-	// budget, sampled at admission.
+	// Utilization is the effective processor utilization fed to the
+	// scheduler: the maximum of the caller's Options value and Smoothed.
 	Utilization float64
+	// Measured is the raw instantaneous sample at admission: threads
+	// already allocated to other queries divided by the budget.
+	Measured float64
+	// Smoothed blends Measured with the manager's EWMA over recently
+	// completed queries' utilization. The blend only ever raises the
+	// sample (a calm instant right after a burst is still treated as
+	// busy); a genuinely loaded instant is never watered down by a calm
+	// history.
+	Smoothed float64
 	// Threads is the thread count reserved for (and used by) the query.
 	Threads int
 	// Available is the budget headroom the query was admitted into.
 	Available int
+	// Priority is the admission class the query was queued under.
+	Priority Priority
 }
 
+// ewmaAlpha weighs a completed query's leftover-utilization sample into the
+// manager's EWMA; ewmaBlend weighs the EWMA against the instantaneous sample
+// at admission.
+const (
+	ewmaAlpha = 0.3
+	ewmaBlend = 0.5
+)
+
 // Manager is the concurrent query runtime: a machine-wide thread budget, a
-// bounded admission queue, and measured-utilization feedback into each
-// admitted query's scheduler. The zero value is not usable; call NewManager.
+// bounded two-class admission queue, and measured-utilization feedback into
+// each admitted query's scheduler. The zero value is not usable; call
+// NewManager.
 //
-// Admission is FIFO by ticket: a query with a large explicit thread request
-// cannot be starved by a stream of small queries — it blocks the queue
-// until its threads free up (head-of-line blocking is the price of
-// fairness).
+// Admission within a class is FIFO by ticket: a query with a large explicit
+// thread request cannot be starved by a stream of small queries — it blocks
+// its line until its threads free up (head-of-line blocking is the price of
+// fairness). Across classes, interactive is served before batch, with aging
+// so batch is never starved.
 type Manager struct {
-	budget    int
-	maxQueued int
+	budget     int
+	maxQueued  int
+	batchAging int
 
 	mu   sync.Mutex
 	cond *sync.Cond
 
 	allocated int // threads reserved by in-flight queries
-	queued    int
+	queued    [priorityCount]int
 	active    int
 	closed    bool
 
-	// FIFO ticket line: serving is the ticket allowed to admit next;
-	// waiters that give up out of turn park their ticket in abandoned so
-	// the line can skip them.
-	nextTicket int64
-	serving    int64
-	abandoned  map[int64]bool
+	// Two FIFO ticket lines, one per priority class. headLocked picks the
+	// single ticket allowed to admit next; admitting pins it so the choice
+	// cannot flip while that ticket plans its allocation outside the lock.
+	nextTicket  int64
+	lines       [priorityCount][]waiter
+	admitting   int64 // ticket currently mid-admission, -1 if none
+	iStreak     int   // consecutive interactive admissions while batch waited
+	ewma        float64
+	ewmaSet     bool
+	cacheHits   int64
+	cacheMisses int64
 
 	admitted  int64
 	completed int64
@@ -111,54 +197,127 @@ func NewManager(cfg Config) *Manager {
 	if cfg.MaxQueued <= 0 {
 		cfg.MaxQueued = 4 * cfg.Budget
 	}
-	m := &Manager{budget: cfg.Budget, maxQueued: cfg.MaxQueued, abandoned: make(map[int64]bool)}
+	if cfg.BatchAging <= 0 {
+		cfg.BatchAging = 4
+	}
+	m := &Manager{budget: cfg.Budget, maxQueued: cfg.MaxQueued, batchAging: cfg.BatchAging, admitting: -1}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
-// takeTicketLocked joins the FIFO line.
-func (m *Manager) takeTicketLocked() int64 {
+// waiter is one queued admission: its line ticket plus the thread count it
+// must see free before it can take its turn (used by headLocked's aging
+// fit-check).
+type waiter struct {
+	ticket int64
+	need   int
+}
+
+// takeTicketLocked joins the FIFO line of the given class.
+func (m *Manager) takeTicketLocked(pri Priority, need int) int64 {
 	t := m.nextTicket
 	m.nextTicket++
+	m.lines[pri] = append(m.lines[pri], waiter{ticket: t, need: need})
 	return t
 }
 
-// advanceLocked passes the head of the line on, skipping abandoned tickets,
-// and wakes the waiters so the new head can proceed.
-func (m *Manager) advanceLocked() {
-	m.serving++
-	for m.abandoned[m.serving] {
-		delete(m.abandoned, m.serving)
-		m.serving++
+// headLocked returns the ticket allowed to admit next. A ticket that already
+// passed its wait and is planning its allocation outside the lock stays head
+// until it reserves or leaves, so headroom measured at its admission point
+// cannot be claimed by anyone else meanwhile.
+func (m *Manager) headLocked() (int64, bool) {
+	if m.admitting >= 0 {
+		return m.admitting, true
+	}
+	iLine, bLine := m.lines[PriorityInteractive], m.lines[PriorityBatch]
+	switch {
+	case len(iLine) > 0 && len(bLine) > 0:
+		// Aging is soft at first: the batch head is promoted once the
+		// streak trips, but only when its threads actually fit the current
+		// headroom — a batch query too big to run must not stall
+		// interactive admissions that would fit. Past twice the aging
+		// bound the promotion turns hard (head regardless of fit), so a
+		// big batch query still gets the head-of-line blocking it needs to
+		// ever accumulate its threads.
+		if m.iStreak >= m.batchAging {
+			if m.iStreak >= 2*m.batchAging || m.budget-m.allocated >= bLine[0].need {
+				return bLine[0].ticket, true
+			}
+		}
+		return iLine[0].ticket, true
+	case len(iLine) > 0:
+		return iLine[0].ticket, true
+	case len(bLine) > 0:
+		return bLine[0].ticket, true
+	}
+	return 0, false
+}
+
+// removeLocked takes a ticket out of its line. The aging streak only
+// measures bypasses of the batch queries currently waiting: when the last
+// one leaves (admitted or abandoned), the streak resets so a later batch
+// arrival starts aging from zero instead of inheriting instant promotion.
+func (m *Manager) removeLocked(pri Priority, ticket int64) {
+	line := m.lines[pri]
+	for i, w := range line {
+		if w.ticket == ticket {
+			m.lines[pri] = append(line[:i], line[i+1:]...)
+			break
+		}
+	}
+	if pri == PriorityBatch && len(m.lines[PriorityBatch]) == 0 {
+		m.iStreak = 0
+	}
+}
+
+// leaveLocked abandons a ticket (cancellation, close, planning error) and
+// wakes the line so the next head can proceed.
+func (m *Manager) leaveLocked(pri Priority, ticket int64) {
+	m.removeLocked(pri, ticket)
+	if m.admitting == ticket {
+		m.admitting = -1
 	}
 	m.cond.Broadcast()
 }
 
-// leaveLocked abandons a ticket (cancellation, close, planning error),
-// advancing the line if it was at the head.
-func (m *Manager) leaveLocked(ticket int64) {
-	if ticket == m.serving {
-		m.advanceLocked()
-		return
-	}
-	m.abandoned[ticket] = true
-}
-
-// awaitTurnLocked blocks until the ticket is at the head of the line with
-// need threads available, or the manager closes / ctx is cancelled.
-func (m *Manager) awaitTurnLocked(ctx context.Context, ticket int64, need int) error {
-	for m.serving != ticket || m.budget-m.allocated < need {
+// awaitTurnLocked blocks until the ticket is the head of the line with need
+// threads available, or the manager closes / ctx is cancelled. On success the
+// ticket is pinned as the admitting ticket.
+func (m *Manager) awaitTurnLocked(ctx context.Context, pri Priority, ticket int64, need int) error {
+	for {
 		if m.closed {
-			m.leaveLocked(ticket)
+			m.leaveLocked(pri, ticket)
 			return ErrClosed
 		}
 		if err := ctx.Err(); err != nil {
-			m.leaveLocked(ticket)
+			m.leaveLocked(pri, ticket)
 			return err
+		}
+		if head, ok := m.headLocked(); ok && head == ticket && m.budget-m.allocated >= need {
+			m.admitting = ticket
+			return nil
 		}
 		m.cond.Wait()
 	}
-	return nil
+}
+
+// reserveLocked finalizes an admission: takes n threads out of the budget,
+// retires the ticket, and updates the cross-class aging streak.
+func (m *Manager) reserveLocked(pri Priority, ticket int64, n int) {
+	m.allocated += n
+	if m.allocated > m.peak {
+		m.peak = m.allocated
+	}
+	m.removeLocked(pri, ticket)
+	m.admitting = -1
+	if pri == PriorityBatch {
+		m.iStreak = 0
+	} else if len(m.lines[PriorityBatch]) > 0 {
+		m.iStreak++
+	} else {
+		m.iStreak = 0
+	}
+	m.cond.Broadcast()
 }
 
 // Budget returns the machine-wide thread budget.
@@ -172,20 +331,44 @@ func (m *Manager) Utilization() float64 {
 	return float64(m.allocated) / float64(m.budget)
 }
 
+// SmoothedUtilization returns the EWMA over recently completed queries'
+// leftover utilization (0 until the first completion).
+func (m *Manager) SmoothedUtilization() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ewma
+}
+
+// NotePlanCache records one facade plan-cache outcome, surfaced in Stats.
+func (m *Manager) NotePlanCache(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.cacheHits++
+	} else {
+		m.cacheMisses++
+	}
+	m.mu.Unlock()
+}
+
 // Stats snapshots the aggregate counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Stats{
-		Admitted:        m.admitted,
-		Completed:       m.completed,
-		Failed:          m.failed,
-		Cancelled:       m.cancelled,
-		Rejected:        m.rejected,
-		Queued:          m.queued,
-		Active:          m.active,
-		ThreadsInFlight: m.allocated,
-		PeakThreads:     m.peak,
+		Admitted:            m.admitted,
+		Completed:           m.completed,
+		Failed:              m.failed,
+		Cancelled:           m.cancelled,
+		Rejected:            m.rejected,
+		Queued:              m.queued[PriorityInteractive] + m.queued[PriorityBatch],
+		QueuedInteractive:   m.queued[PriorityInteractive],
+		QueuedBatch:         m.queued[PriorityBatch],
+		Active:              m.active,
+		ThreadsInFlight:     m.allocated,
+		PeakThreads:         m.peak,
+		SmoothedUtilization: m.ewma,
+		PlanCacheHits:       m.cacheHits,
+		PlanCacheMisses:     m.cacheMisses,
 	}
 }
 
@@ -199,8 +382,9 @@ func (m *Manager) Close() {
 }
 
 // Reserve takes n threads out of the budget for work outside the manager
-// (or to simulate load in tests), waiting until they are available. The
-// returned release function returns them; it is idempotent.
+// (or to simulate load in tests), waiting in the interactive line until they
+// are available. The returned release function returns them; it is
+// idempotent.
 func (m *Manager) Reserve(ctx context.Context, n int) (release func(), err error) {
 	if n < 0 {
 		n = 0
@@ -220,16 +404,12 @@ func (m *Manager) Reserve(ctx context.Context, n int) (release func(), err error
 		m.mu.Unlock()
 		return nil, ErrClosed
 	}
-	ticket := m.takeTicketLocked()
-	if err := m.awaitTurnLocked(ctx, ticket, n); err != nil {
+	ticket := m.takeTicketLocked(PriorityInteractive, n)
+	if err := m.awaitTurnLocked(ctx, PriorityInteractive, ticket, n); err != nil {
 		m.mu.Unlock()
 		return nil, err
 	}
-	m.allocated += n
-	if m.allocated > m.peak {
-		m.peak = m.allocated
-	}
-	m.advanceLocked()
+	m.reserveLocked(PriorityInteractive, ticket, n)
 	m.mu.Unlock()
 
 	var once sync.Once
@@ -243,17 +423,79 @@ func (m *Manager) Reserve(ctx context.Context, n int) (release func(), err error
 	}, nil
 }
 
-// Execute admits one query and runs it under the shared budget.
+// Admission is one admitted query's reservation against the budget. The
+// caller owns the reserved threads until Finish returns them; Stats and
+// Alloc describe what the admission decided.
+type Admission struct {
+	m     *Manager
+	ctx   context.Context
+	alloc core.Allocation
+	// Stats is the per-query feedback record (effective utilization fed to
+	// the scheduler, reserved threads, admission class).
+	Stats QueryStats
+
+	once sync.Once
+}
+
+// Alloc is the thread allocation reserved for the query; pass it to
+// core.ExecuteAllocated together with the Options Admit adjusted.
+func (a *Admission) Alloc() core.Allocation { return a.alloc }
+
+// Finish returns the reservation to the budget and classifies the outcome
+// from err: nil = completed, the admission context's cancellation =
+// cancelled, anything else = failed. It is idempotent; later calls are
+// no-ops. Finish also feeds the completion into the manager's utilization
+// EWMA.
+func (a *Admission) Finish(err error) {
+	a.once.Do(func() {
+		m := a.m
+		m.mu.Lock()
+		m.allocated -= a.alloc.Total
+		m.active--
+		switch {
+		case err == nil:
+			m.completed++
+		case a.ctx.Err() != nil:
+			m.cancelled++
+		default:
+			m.failed++
+		}
+		// The leftover load this query's run leaves behind is the EWMA
+		// sample: under sustained concurrency completions sample high, so
+		// a query arriving in a momentary trough is still throttled; a
+		// machine running one query at a time samples zero and keeps
+		// single-user parallelism.
+		sample := float64(m.allocated) / float64(m.budget)
+		if m.ewmaSet {
+			m.ewma = ewmaAlpha*sample + (1-ewmaAlpha)*m.ewma
+		} else {
+			m.ewma = sample
+			m.ewmaSet = true
+		}
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+}
+
+// Admit reserves one query's thread allocation against the shared budget.
 //
-// Admission: the query waits (in the bounded queue) until the budget has
-// headroom — one thread for auto-threaded queries, the full explicit
-// opts.Threads otherwise (clamped to the budget). On admission the manager
-// measures utilization from the threads other queries hold, caps the
-// query's usable processors at the remaining headroom, runs the Figure 5
-// scheduler, and reserves the chosen thread count before execution starts —
-// so the sum of reserved threads never exceeds the budget. The reservation
-// is returned when the query finishes or is cancelled.
-func (m *Manager) Execute(ctx context.Context, plan *lera.Plan, db core.DB, opts core.Options) (*core.Result, QueryStats, error) {
+// The query waits in its class line (bounded by MaxQueued across classes)
+// until the budget has headroom — one thread for auto-threaded queries, the
+// full explicit opts.Threads otherwise (clamped to the budget). On admission
+// the manager measures utilization from the threads other queries hold,
+// blends it with the completion EWMA, caps the query's usable processors at
+// the remaining headroom, runs the Figure 5 scheduler, and reserves the
+// chosen thread count before returning — so the sum of reserved threads
+// never exceeds the budget. opts is adjusted in place (Utilization,
+// Processors) and must be the Options later passed to ExecuteAllocated.
+//
+// The caller must call Finish on the returned Admission exactly when the
+// execution ends — normal completion, failure, or a streaming client closing
+// its cursor mid-result — to hand the threads back.
+func (m *Manager) Admit(ctx context.Context, plan *lera.Plan, db core.DB, opts *core.Options, pri Priority) (*Admission, error) {
+	if pri < 0 || pri >= priorityCount {
+		pri = PriorityInteractive
+	}
 	if opts.Threads > m.budget {
 		opts.Threads = m.budget
 	}
@@ -272,71 +514,89 @@ func (m *Manager) Execute(ctx context.Context, plan *lera.Plan, db core.DB, opts
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return nil, QueryStats{}, ErrClosed
+		return nil, ErrClosed
 	}
-	if m.queued >= m.maxQueued {
+	// Batch admissions stop short of the full queue bound so a batch flood
+	// cannot shed the latency-sensitive class — the reserved slots are
+	// usable by interactive arrivals only.
+	limit := m.maxQueued
+	if pri == PriorityBatch {
+		limit -= m.maxQueued / 4
+	}
+	if m.queued[PriorityInteractive]+m.queued[PriorityBatch] >= limit {
 		m.rejected++
 		m.mu.Unlock()
-		return nil, QueryStats{}, ErrQueueFull
+		return nil, ErrQueueFull
 	}
-	m.queued++
-	ticket := m.takeTicketLocked()
-	if err := m.awaitTurnLocked(ctx, ticket, need); err != nil {
-		m.queued--
+	m.queued[pri]++
+	ticket := m.takeTicketLocked(pri, need)
+	if err := m.awaitTurnLocked(ctx, pri, ticket, need); err != nil {
+		m.queued[pri]--
 		if err != ErrClosed {
 			m.cancelled++
 		}
 		m.mu.Unlock()
-		return nil, QueryStats{}, err
+		return nil, err
 	}
 
 	// Admission point: measure concurrent load and feed it to the
-	// scheduler. Cost estimation runs outside the lock — the ticket line
-	// guarantees no other query can reserve threads meanwhile (completions
-	// only grow the headroom), so the allocation stays within budget.
+	// scheduler. Cost estimation runs outside the lock — the pinned
+	// admitting ticket guarantees no other query can reserve threads
+	// meanwhile (completions only grow the headroom), so the allocation
+	// stays within budget.
 	available := m.budget - m.allocated
 	measured := float64(m.allocated) / float64(m.budget)
+	smoothed := measured
+	if m.ewmaSet {
+		if blended := ewmaBlend*measured + (1-ewmaBlend)*m.ewma; blended > smoothed {
+			smoothed = blended
+		}
+	}
 	m.mu.Unlock()
-	if measured > opts.Utilization {
-		opts.Utilization = measured
+	if smoothed > opts.Utilization {
+		opts.Utilization = smoothed
 	}
 	if opts.Processors <= 0 || opts.Processors > available {
 		opts.Processors = available
 	}
-	alloc, planErr := core.PlanAllocation(plan, db, opts)
+	alloc, planErr := core.PlanAllocation(plan, db, *opts)
 	m.mu.Lock()
-	m.queued--
+	m.queued[pri]--
 	if planErr != nil {
 		m.failed++
-		m.leaveLocked(ticket)
+		m.leaveLocked(pri, ticket)
 		m.mu.Unlock()
-		return nil, QueryStats{}, planErr
+		return nil, planErr
 	}
-	m.allocated += alloc.Total
-	if m.allocated > m.peak {
-		m.peak = m.allocated
-	}
+	m.reserveLocked(pri, ticket, alloc.Total)
 	m.admitted++
 	m.active++
-	m.advanceLocked()
 	m.mu.Unlock()
 
-	res, err := core.ExecuteAllocated(ctx, plan, db, opts, alloc)
+	return &Admission{
+		m:     m,
+		ctx:   ctx,
+		alloc: alloc,
+		Stats: QueryStats{
+			Utilization: opts.Utilization,
+			Measured:    measured,
+			Smoothed:    smoothed,
+			Threads:     alloc.Total,
+			Available:   available,
+			Priority:    pri,
+		},
+	}, nil
+}
 
-	m.mu.Lock()
-	m.allocated -= alloc.Total
-	m.active--
-	switch {
-	case err == nil:
-		m.completed++
-	case ctx.Err() != nil:
-		m.cancelled++
-	default:
-		m.failed++
+// Execute admits one query and runs it under the shared budget: Admit +
+// core.ExecuteAllocated + Finish in one call, for callers that do not stream
+// results. The query is queued as PriorityInteractive.
+func (m *Manager) Execute(ctx context.Context, plan *lera.Plan, db core.DB, opts core.Options) (*core.Result, QueryStats, error) {
+	adm, err := m.Admit(ctx, plan, db, &opts, PriorityInteractive)
+	if err != nil {
+		return nil, QueryStats{}, err
 	}
-	m.cond.Broadcast()
-	m.mu.Unlock()
-
-	qs := QueryStats{Utilization: opts.Utilization, Threads: alloc.Total, Available: available}
-	return res, qs, err
+	res, err := core.ExecuteAllocated(ctx, plan, db, opts, adm.Alloc())
+	adm.Finish(err)
+	return res, adm.Stats, err
 }

@@ -7,7 +7,7 @@ import (
 )
 
 // CostModel holds the virtual-time cost constants, calibrated against the
-// paper's reported anchors (see EXPERIMENTS.md for the calibration table):
+// paper's reported anchors (internal/experiments records paper-vs-measured anchors):
 //
 //   - NLPair: sequential IdealJoin (nested loop, 200K x 20K, d=200) took
 //     Tseq = 956 s => 20M pair comparisons => 47.8 us/pair.

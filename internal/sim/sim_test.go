@@ -262,7 +262,7 @@ func TestTriggeredBoundsProperty(t *testing.T) {
 	}
 }
 
-// Calibration anchors (see EXPERIMENTS.md): sequential times of the Figure
+// Calibration anchors (paper anchors): sequential times of the Figure
 // 14/15 database within a few percent of the paper's Tseq.
 func TestCalibrationSequentialAnchors(t *testing.T) {
 	m := Calibrated()
@@ -290,8 +290,8 @@ func TestCalibrationSequentialAnchors(t *testing.T) {
 		QueueOverheadProducer: m.TriggeredQueueOverhead, QueueOverheadConsumer: m.PipelinedQueueOverhead,
 	}, cfg)
 	// The 92 s gap between the paper's two sequential times cannot be fully
-	// attributed to transmit CPU without breaking the Figure 17 shape (see
-	// EXPERIMENTS.md), so the transmit calibration favours the shape and
+	// attributed to transmit CPU without breaking the Figure 17 shape, so
+	// the transmit calibration favours the shape and
 	// this anchor is held to 8%.
 	if rel := math.Abs(seq-1048) / 1048; rel > 0.08 {
 		t.Errorf("AssocJoin Tseq = %v, paper 1048 s (off %.1f%%)", seq, rel*100)

@@ -12,7 +12,8 @@ import (
 // evaluation's response-time behaviour deterministically, independent of the
 // host's core count — on a laptop (or a 1-CPU container) the real engine
 // cannot exhibit 70-way speed-ups, but the simulator can, which is how the
-// figure harness regenerates the paper's results (see EXPERIMENTS.md).
+// figure harness (internal/experiments, cmd/dbs3-bench) regenerates the
+// paper's results; DESIGN.md sketches the simulator column.
 
 func simStrategy(strategy string) (sim.Kind, error) {
 	switch strategy {

@@ -1,0 +1,298 @@
+package dbs3
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dbs3/internal/core"
+	"dbs3/internal/esql"
+	"dbs3/internal/lera"
+	dbruntime "dbs3/internal/runtime"
+)
+
+// planCacheCap bounds the per-database LRU plan cache. Serving workloads
+// repeat a small statement vocabulary; 128 distinct (SQL, join algo) shapes
+// is far beyond what one front end issues.
+const planCacheCap = 128
+
+// defaultStreamBuffer is the bounded row-sink capacity between the engine's
+// final store node and a Rows cursor when Options.StreamBuffer is zero.
+const defaultStreamBuffer = 64
+
+// preparedPlan is one compiled statement: the bound Lera-par plan, the graph
+// for EXPLAIN, and the result column names (known statically from the store
+// node's input schema). It is immutable after compilation — executions only
+// read it — which is what makes a Stmt safe for concurrent reuse.
+type preparedPlan struct {
+	plan  *lera.Plan
+	graph *lera.Graph
+	cols  []string
+	epoch uint64
+}
+
+// planCache is an LRU of compiled statements keyed on SQL + join algorithm.
+// Entries are tagged with the catalog epoch at compile time; DDL (relation
+// creation) bumps the epoch, so stale plans miss and recompile against the
+// new catalog instead of serving pre-DDL bindings. Today's DDL is purely
+// additive — an existing plan cannot actually go stale — but the blanket
+// bump keeps the invalidation contract ahead of destructive DDL
+// (DROP/ALTER, repartitioning) rather than auditing every future catalog
+// mutation for cache safety; the cost is a recompile per cached statement
+// after a load, visible as a miss spike in PlanCacheStats.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used; values are *cacheItem
+	entries map[string]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+type cacheItem struct {
+	key string
+	p   *preparedPlan
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached plan for key if it exists and was compiled at the
+// current catalog epoch.
+func (c *planCache) get(key string, epoch uint64) (*preparedPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	item := el.Value.(*cacheItem)
+	if item.p.epoch != epoch {
+		// Stale: compiled against a pre-DDL catalog.
+		c.ll.Remove(el)
+		delete(c.entries, key)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return item.p, true
+}
+
+// put inserts a compiled plan, evicting the least recently used entry beyond
+// capacity.
+func (c *planCache) put(key string, p *preparedPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A compile that raced with DDL must not clobber a fresher entry:
+		// keep whichever plan was compiled at the newer catalog epoch.
+		if item := el.Value.(*cacheItem); item.p.epoch <= p.epoch {
+			item.p = p
+		}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheItem{key: key, p: p})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.entries, el.Value.(*cacheItem).key)
+	}
+}
+
+// PlanCacheStats reports the database's plan-cache hit/miss counters. When a
+// QueryManager is installed the same counters are mirrored into its Stats.
+func (db *Database) PlanCacheStats() (hits, misses int64) {
+	return db.cache.hits.Load(), db.cache.misses.Load()
+}
+
+// Stmt is a prepared statement: one compilation (lex, parse, plan, bind)
+// reused across many executions — the compile-once / execute-many half of
+// the serving-scale API. A Stmt is safe for concurrent use by multiple
+// goroutines; each QueryContext executes against the catalog snapshot and
+// manager installed at call time.
+type Stmt struct {
+	db  *Database
+	sql string
+	opt Options
+	// prep is the compiled plan, swapped atomically when a catalog-epoch
+	// change forces revalidation (see QueryContext).
+	prep atomic.Pointer[preparedPlan]
+
+	strat core.StrategyKind
+	pri   dbruntime.Priority
+}
+
+// Prepare compiles one ESQL statement into a reusable bound plan. The
+// Options are captured as the statement's execution defaults (thread count,
+// strategy, join algorithm, grain, priority); the join algorithm also shapes
+// the plan itself and keys the underlying plan cache. Repeated Prepare calls
+// for the same SQL and join algorithm share the compiled plan.
+func (db *Database) Prepare(sql string, opt *Options) (*Stmt, error) {
+	strat, err := opt.strategy()
+	if err != nil {
+		return nil, err
+	}
+	pri, err := opt.priority()
+	if err != nil {
+		return nil, err
+	}
+	prep, err := db.prepare(sql, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stmt{db: db, sql: sql, strat: strat, pri: pri}
+	s.prep.Store(prep)
+	if opt != nil {
+		s.opt = *opt
+	}
+	return s, nil
+}
+
+// prepare resolves a statement through the plan cache, compiling on miss.
+func (db *Database) prepare(sql string, opt *Options) (*preparedPlan, error) {
+	algo, err := opt.joinAlgo()
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s\x00%d", sql, algo)
+	epoch := db.epoch.Load()
+	prep, hit := db.cache.get(key, epoch)
+	if m := db.currentManager(); m != nil {
+		m.NotePlanCache(hit)
+	}
+	if hit {
+		return prep, nil
+	}
+	c := &esql.Compiler{Resolver: db.snapshotResolver(), JoinAlgo: algo}
+	plan, g, err := c.Compile(sql)
+	if err != nil {
+		return nil, err
+	}
+	prep = &preparedPlan{plan: plan, graph: g, cols: outputColumns(plan), epoch: epoch}
+	db.cache.put(key, prep)
+	return prep, nil
+}
+
+// outputColumns reads the result column names off the final store node's
+// input schema — available at compile time, before any row is produced.
+func outputColumns(plan *lera.Plan) []string {
+	id, ok := plan.Outputs[esql.OutputName]
+	if !ok {
+		return nil
+	}
+	schema := plan.Nodes[id].InSchema
+	cols := make([]string, schema.Len())
+	for i := range cols {
+		cols[i] = schema.Column(i).Name
+	}
+	return cols
+}
+
+// SQL returns the statement's source text.
+func (s *Stmt) SQL() string { return s.sql }
+
+// Columns names the result columns the statement produces.
+func (s *Stmt) Columns() []string { return append([]string(nil), s.prep.Load().cols...) }
+
+// Close releases the statement. The compiled plan stays in the database's
+// plan cache for future statements; Close exists for API symmetry and
+// forward compatibility.
+func (s *Stmt) Close() error { return nil }
+
+// Query executes the prepared statement with a background context.
+func (s *Stmt) Query() (*Rows, error) {
+	return s.QueryContext(context.Background())
+}
+
+// QueryContext executes the prepared statement against the current catalog
+// snapshot and returns a streaming cursor. Compilation is skipped entirely —
+// the bound plan is reused — so the per-execution cost is admission plus
+// execution. Cancelling ctx (or closing the cursor) aborts the execution and
+// returns its threads to the manager budget.
+func (s *Stmt) QueryContext(ctx context.Context) (*Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Epoch revalidation: the common path is one atomic load — no cache
+	// lock, no compiler. Only when DDL moved the catalog since this plan
+	// was compiled does the statement re-resolve, through the plan cache
+	// (a hit when another caller already recompiled the statement).
+	prep := s.prep.Load()
+	if prep.epoch != s.db.epoch.Load() {
+		fresh, err := s.db.prepare(s.sql, &s.opt)
+		if err != nil {
+			return nil, err
+		}
+		// CAS, not Store: a racing revalidation may have installed a plan
+		// compiled at a newer epoch; never replace it with an older one.
+		s.prep.CompareAndSwap(prep, fresh)
+		prep = fresh
+	}
+	rels, manager := s.db.snapshotRels()
+
+	buf := s.opt.StreamBuffer
+	if buf <= 0 {
+		buf = defaultStreamBuffer
+	}
+	qctx, cancel := context.WithCancel(ctx)
+	ch := make(chan []any, buf)
+	copts := core.Options{
+		Threads:      s.opt.Threads,
+		Strategy:     s.strat,
+		TriggerGrain: s.opt.Grain,
+		Utilization:  s.opt.Utilization,
+		StreamOutput: esql.OutputName,
+		Sink:         &rowSink{ctx: qctx, ch: ch},
+	}
+
+	var adm *dbruntime.Admission
+	var alloc core.Allocation
+	utilization := s.opt.Utilization
+	var err error
+	if manager != nil {
+		adm, err = manager.Admit(qctx, prep.plan, rels, &copts, s.pri)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		alloc = adm.Alloc()
+		utilization = adm.Stats.Utilization
+	} else {
+		alloc, err = core.PlanAllocation(prep.plan, rels, copts)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+
+	r := &Rows{
+		cols:        prep.cols,
+		threads:     alloc.Total,
+		utilization: utilization,
+		ch:          ch,
+		done:        make(chan struct{}),
+		cancel:      cancel,
+		parent:      ctx,
+	}
+	go func() {
+		res, execErr := core.ExecuteAllocated(qctx, prep.plan, rels, copts, alloc)
+		if adm != nil {
+			// Threads are back in the budget before the cursor observes the
+			// end of the stream — Close-mid-result frees them immediately.
+			adm.Finish(execErr)
+		}
+		r.execErr = execErr
+		if execErr == nil && res != nil {
+			r.operators = operatorStats(prep.plan, res)
+		}
+		close(r.done)
+		close(ch)
+	}()
+	return r, nil
+}

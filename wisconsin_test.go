@@ -11,7 +11,7 @@ func TestWisconsinSuiteRuns(t *testing.T) {
 	for _, q := range WisconsinSuite(card) {
 		q := q
 		t.Run(q.Name, func(t *testing.T) {
-			rows, err := db.Query(q.SQL, &Options{Threads: 4})
+			rows, err := db.QueryAll(q.SQL, &Options{Threads: 4})
 			if err != nil {
 				t.Fatalf("%s: %v", q.SQL, err)
 			}
@@ -30,7 +30,7 @@ func TestWisconsinSuiteUnderEveryStrategy(t *testing.T) {
 	}
 	for _, strat := range []string{"random", "lpt", "auto"} {
 		for _, q := range WisconsinSuite(card) {
-			rows, err := db.Query(q.SQL, &Options{Threads: 3, Strategy: strat})
+			rows, err := db.QueryAll(q.SQL, &Options{Threads: 3, Strategy: strat})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", q.Name, strat, err)
 			}
@@ -48,7 +48,7 @@ func TestWisconsinSuiteAggregatesCorrect(t *testing.T) {
 		t.Fatal(err)
 	}
 	// COUNT grouped by onePercent: 100 groups of card/100 each.
-	rows, err := db.Query("SELECT onePercent, COUNT(*) FROM tenktup1 GROUP BY onePercent", nil)
+	rows, err := db.QueryAll("SELECT onePercent, COUNT(*) FROM tenktup1 GROUP BY onePercent", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestWisconsinSuiteAggregatesCorrect(t *testing.T) {
 		}
 	}
 	// MIN(unique1) grouped by two: minima are 0 and 1.
-	rows, err = db.Query("SELECT two, MIN(unique1) FROM tenktup1 GROUP BY two", nil)
+	rows, err = db.QueryAll("SELECT two, MIN(unique1) FROM tenktup1 GROUP BY two", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
