@@ -23,6 +23,23 @@
 //
 //	dbs3 -q "SELECT * FROM A JOIN B ON A.k = B.k; SELECT ten, COUNT(*) FROM wisc GROUP BY ten" \
 //	     -concurrency 8 -repeat 20 -budget 16 -priority batch
+//
+// WHERE comparisons accept `?` placeholders bound per execution through the
+// library API and the serve-mode wire protocol.
+//
+// Subcommands:
+//
+//	dbs3 serve -addr 127.0.0.1:8080 -budget 16 -queue 64
+//	    Serve the database over HTTP (JSON wire protocol): POST /query
+//	    streams rows as NDJSON while the engine produces them, POST
+//	    /prepare + POST /stmt/{id}/exec reuse one compiled plan across
+//	    executions (with `?` placeholder args), GET /stats reports the
+//	    manager counters, and a client disconnect cancels its query and
+//	    returns the threads to the budget. Data comes from the generated
+//	    demo relations and/or CSV files (-csv data.csv -csvkey col).
+//
+//	dbs3 dump -rel wisc -o wisc.csv
+//	    Write a demo relation as typed CSV — the format -csv loads back.
 package main
 
 import (
@@ -39,6 +56,16 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "dump":
+			dumpMain(os.Args[2:])
+			return
+		}
+	}
 	var (
 		query       = flag.String("q", "", "ESQL statement(s) to execute; ';' separates statements in batch mode")
 		threads     = flag.Int("threads", 0, "degree of parallelism (0 = scheduler decides)")
@@ -56,6 +83,14 @@ func main() {
 		repeat      = flag.Int("repeat", 10, "batch mode: executions of each statement per worker")
 		budget      = flag.Int("budget", 0, "batch mode: manager thread budget (0 = GOMAXPROCS)")
 	)
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage:\n")
+		fmt.Fprintf(out, "  dbs3 -q <statement> [flags]   run statements against the demo database\n")
+		fmt.Fprintf(out, "  dbs3 serve [flags]            serve the database over HTTP (see 'dbs3 serve -h')\n")
+		fmt.Fprintf(out, "  dbs3 dump [flags]             write a demo relation as typed CSV (see 'dbs3 dump -h')\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *query == "" {
 		flag.Usage()

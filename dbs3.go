@@ -32,7 +32,10 @@
 // Queries compile once and execute many times. Database.Prepare returns a
 // *Stmt holding the bound parallel plan; Stmt.QueryContext reuses it against
 // the current catalog, skipping lexing, parsing and planning entirely.
-// Ad-hoc Query/QueryContext calls hit an internal LRU plan cache keyed on
+// WHERE comparisons accept `?` placeholders bound per execution
+// (stmt.Query(42)), type-checked against the compared column, so one
+// compiled plan serves a whole family of predicates. Ad-hoc
+// Query/QueryContext calls hit an internal LRU plan cache keyed on
 // SQL text + join algorithm, so a serving workload that repeats statements
 // gets the same amortization transparently (PlanCacheStats, and the
 // manager's Stats, expose the hit/miss counters).
@@ -62,6 +65,11 @@
 // propagates cancellation into the engine, and closing a cursor mid-result
 // does the same: the query drains its operation pools and its threads are
 // back in the budget when Close returns.
+//
+// The serve-mode front end (internal/server, `dbs3 serve`) exposes all of
+// the above over HTTP: streamed NDJSON results, server-side prepared
+// statements with placeholder arguments, per-request admission priorities,
+// and disconnect-as-cancellation. DESIGN.md documents the wire protocol.
 package dbs3
 
 import (
@@ -356,19 +364,22 @@ func (o *Options) priority() (dbruntime.Priority, error) {
 	}
 }
 
-// OperatorStats summarizes one operator's execution.
+// OperatorStats summarizes one operator's execution. The JSON tags are the
+// serve-mode wire form (the footer of a streamed result).
 type OperatorStats struct {
 	// Name is the plan node name (filter, join, store, ...).
-	Name string
+	Name string `json:"name"`
 	// Threads is the pool size the scheduler allocated.
-	Threads int
+	Threads int `json:"threads"`
 	// Strategy is the consumption strategy used.
-	Strategy string
+	Strategy string `json:"strategy"`
 	// Instances is the operator's degree (one per fragment).
-	Instances int
+	Instances int `json:"instances"`
 	// Activations, Emitted and SecondaryPicks count processed units of
 	// work, produced tuples, and consumptions stolen from non-main queues.
-	Activations, Emitted, SecondaryPicks int64
+	Activations    int64 `json:"activations"`
+	Emitted        int64 `json:"emitted"`
+	SecondaryPicks int64 `json:"secondaryPicks"`
 }
 
 // Query compiles (or reuses a cached plan for) and executes one ESQL
@@ -380,10 +391,12 @@ type OperatorStats struct {
 //	  [WHERE predicate]
 //	  [GROUP BY cols]
 //
-// Close the returned cursor (or drain it) — an abandoned open cursor pins
-// its query's threads on sink backpressure.
-func (db *Database) Query(sql string, opt *Options) (*Rows, error) {
-	return db.QueryContext(context.Background(), sql, opt)
+// WHERE comparisons may use `?` placeholders instead of literals; args
+// supplies their values in order (integers or strings, type-checked against
+// the compared column). Close the returned cursor (or drain it) — an
+// abandoned open cursor pins its query's threads on sink backpressure.
+func (db *Database) Query(sql string, opt *Options, args ...any) (*Rows, error) {
+	return db.QueryContext(context.Background(), sql, opt, args...)
 }
 
 // QueryContext executes one ESQL statement under a context and returns a
@@ -397,25 +410,27 @@ func (db *Database) Query(sql string, opt *Options) (*Rows, error) {
 //
 // Compilation goes through the database's LRU plan cache, so a repeated
 // statement (same SQL and join algorithm) skips lexing, parsing and
-// planning; use Prepare to hold the compiled plan explicitly.
-func (db *Database) QueryContext(ctx context.Context, sql string, opt *Options) (*Rows, error) {
+// planning; use Prepare to hold the compiled plan explicitly. Placeholder
+// statements cache once and re-bind per call: "... WHERE a < ?" executed
+// with different args is one cached plan, not many.
+func (db *Database) QueryContext(ctx context.Context, sql string, opt *Options, args ...any) (*Rows, error) {
 	stmt, err := db.Prepare(sql, opt)
 	if err != nil {
 		return nil, err
 	}
-	return stmt.QueryContext(ctx)
+	return stmt.QueryContext(ctx, args...)
 }
 
 // QueryAll is the materialized convenience path — the pre-cursor API shape:
 // it runs QueryContext and drains the cursor into a Result. Prefer the
 // cursor for large results; QueryAll holds the whole table in memory.
-func (db *Database) QueryAll(sql string, opt *Options) (*Result, error) {
-	return db.QueryAllContext(context.Background(), sql, opt)
+func (db *Database) QueryAll(sql string, opt *Options, args ...any) (*Result, error) {
+	return db.QueryAllContext(context.Background(), sql, opt, args...)
 }
 
 // QueryAllContext is QueryAll under a context.
-func (db *Database) QueryAllContext(ctx context.Context, sql string, opt *Options) (*Result, error) {
-	rows, err := db.QueryContext(ctx, sql, opt)
+func (db *Database) QueryAllContext(ctx context.Context, sql string, opt *Options, args ...any) (*Result, error) {
+	rows, err := db.QueryContext(ctx, sql, opt, args...)
 	if err != nil {
 		return nil, err
 	}

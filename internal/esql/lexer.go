@@ -20,7 +20,7 @@ const (
 	tokIdent
 	tokNumber
 	tokString
-	tokSymbol // ( ) , * =  <> < <= > >= .
+	tokSymbol // ( ) , * =  <> < <= > >= . ?
 	tokKeyword
 )
 
@@ -92,7 +92,7 @@ func lex(input string) ([]token, error) {
 				out = append(out, token{tokSymbol, ">", i})
 				i++
 			}
-		case strings.ContainsRune("(),*=.", c):
+		case strings.ContainsRune("(),*=.?", c):
 			out = append(out, token{tokSymbol, string(c), i})
 			i++
 		default:

@@ -25,6 +25,9 @@ type Query struct {
 	Where lera.Predicate
 	// GroupBy lists grouping columns.
 	GroupBy []string
+	// Params counts the `?` placeholders in the statement, numbered left to
+	// right; execution must supply that many arguments.
+	Params int
 }
 
 // AggItem is one aggregate in the select list.
@@ -55,6 +58,8 @@ func (q qualified) String() string {
 type parser struct {
 	toks []token
 	i    int
+	// params numbers `?` placeholders in lexical order.
+	params int
 }
 
 // Parse parses one ESQL statement.
@@ -71,6 +76,7 @@ func Parse(input string) (*Query, error) {
 	if !p.at(tokEOF, "") {
 		return nil, p.errf("trailing input %q", p.cur().text)
 	}
+	q.Params = p.params
 	return q, nil
 }
 
@@ -345,6 +351,12 @@ func (p *parser) comparison() (lera.Predicate, error) {
 		s := p.cur().text
 		p.i++
 		return lera.ColConst{Col: left.String(), Op: op, Val: relation.Str(s)}, nil
+	case p.at(tokSymbol, "?"):
+		// A `?` placeholder, numbered left to right, bound at execution.
+		p.i++
+		idx := p.params
+		p.params++
+		return lera.ColParam{Col: left.String(), Op: op, Index: idx}, nil
 	case p.at(tokIdent, ""):
 		right, err := p.qualifiedCol()
 		if err != nil {
@@ -352,6 +364,6 @@ func (p *parser) comparison() (lera.Predicate, error) {
 		}
 		return lera.ColCol{Left: left.String(), Op: op, Right: right.String()}, nil
 	default:
-		return nil, p.errf("expected literal or column, found %q", p.cur().text)
+		return nil, p.errf("expected literal, column or ?, found %q", p.cur().text)
 	}
 }

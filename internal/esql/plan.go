@@ -276,6 +276,13 @@ func rewritePredicate(p lera.Predicate, resolve func(string) (string, error)) (l
 		}
 		t.Col = col
 		return t, nil
+	case lera.ColParam:
+		col, err := resolve(t.Col)
+		if err != nil {
+			return nil, err
+		}
+		t.Col = col
+		return t, nil
 	case lera.ColCol:
 		l, err := resolve(t.Left)
 		if err != nil {

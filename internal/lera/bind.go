@@ -59,6 +59,9 @@ type Plan struct {
 	Chains [][]int
 	// Outputs maps store-output relation names to the producing node id.
 	Outputs map[string]int
+	// params is the `?` placeholder count, computed once at Bind (see
+	// NumParams).
+	params int
 }
 
 // Bind validates the plan against base-relation metadata and returns the
@@ -111,6 +114,9 @@ func Bind(g *Graph, res Resolver) (*Plan, error) {
 			}
 		}
 	}
+	// The placeholder count is fixed once every predicate is bound; cache it
+	// so the per-execution BindParams arity check costs nothing.
+	p.params = countParams(p)
 	// Bind edge routing columns against producer output schemas.
 	for i, e := range g.Edges {
 		be := &BoundEdge{Edge: e}

@@ -45,6 +45,7 @@ type jsonPred struct {
 	Right string      `json:"right,omitempty"`
 	Op    string      `json:"op,omitempty"`
 	Val   *jsonValue  `json:"val,omitempty"`
+	Index *int        `json:"index,omitempty"`
 	Terms []*jsonPred `json:"terms,omitempty"`
 	Term  *jsonPred   `json:"term,omitempty"`
 }
@@ -71,6 +72,9 @@ func encodePred(p Predicate) (*jsonPred, error) {
 		return &jsonPred{Type: "colconst", Col: t.Col, Op: opNames[t.Op], Val: &v}, nil
 	case ColCol:
 		return &jsonPred{Type: "colcol", Left: t.Left, Op: opNames[t.Op], Right: t.Right}, nil
+	case ColParam:
+		idx := t.Index
+		return &jsonPred{Type: "param", Col: t.Col, Op: opNames[t.Op], Index: &idx}, nil
 	case And:
 		out := &jsonPred{Type: "and"}
 		for _, term := range t.Terms {
@@ -128,6 +132,15 @@ func (jp *jsonPred) decode() (Predicate, error) {
 			return nil, err
 		}
 		return ColCol{Left: jp.Left, Op: op, Right: jp.Right}, nil
+	case "param":
+		op, err := opFromName(jp.Op)
+		if err != nil {
+			return nil, err
+		}
+		if jp.Index == nil || *jp.Index < 0 {
+			return nil, fmt.Errorf("lera: param predicate needs a non-negative index")
+		}
+		return ColParam{Col: jp.Col, Op: op, Index: *jp.Index}, nil
 	case "and", "or":
 		terms := make([]Predicate, len(jp.Terms))
 		for i, t := range jp.Terms {

@@ -1,0 +1,178 @@
+package lera
+
+import (
+	"fmt"
+
+	"dbs3/internal/relation"
+)
+
+// ColParam compares a named column with a `?` placeholder bound at execution
+// time. Bind resolves the column position and records its type — the static
+// half of the check — so one compiled plan can be re-bound against many
+// argument vectors; Plan.BindParams performs the per-execution substitution,
+// turning each ColParam into a bound ColConst without touching the compiler.
+// A ColParam must never reach Eval: a plan still holding placeholders is not
+// executable.
+type ColParam struct {
+	Col string
+	Op  CmpOp
+	// Index is the placeholder's zero-based position in the argument vector
+	// (placeholders are numbered left to right in the statement).
+	Index int
+
+	bound bool
+	idx   int
+	typ   relation.Type
+}
+
+// Eval implements Predicate. Evaluating an unsubstituted placeholder is a
+// plan-construction bug, not a data error.
+func (p ColParam) Eval(relation.Tuple) bool {
+	panic("lera: Eval on parameter predicate " + p.String() + " (missing BindParams)")
+}
+
+// Bind implements Predicate: it resolves the column and memorizes its type so
+// substitution can type-check arguments without a schema in hand.
+func (p ColParam) Bind(s *relation.Schema) (Predicate, error) {
+	i, ok := s.Index(p.Col)
+	if !ok {
+		return nil, fmt.Errorf("lera: predicate column %q not in schema %s", p.Col, s)
+	}
+	p.bound, p.idx, p.typ = true, i, s.Column(i).Type
+	return p, nil
+}
+
+// String implements Predicate.
+func (p ColParam) String() string { return fmt.Sprintf("%s %s ?%d", p.Col, p.Op, p.Index+1) }
+
+// NumParams returns the number of `?` placeholders the plan's predicates
+// expect. It is cached at Bind time, so calling it per execution is free.
+func (p *Plan) NumParams() int { return p.params }
+
+// countParams walks every bound predicate for the placeholder count — max
+// index + 1, so a plan built by hand with gaps still demands a full
+// argument vector.
+func countParams(p *Plan) int {
+	n := 0
+	for _, bn := range p.Nodes {
+		if bn == nil || bn.Pred == nil {
+			continue
+		}
+		walkParams(bn.Pred, func(cp ColParam) {
+			if cp.Index+1 > n {
+				n = cp.Index + 1
+			}
+		})
+	}
+	return n
+}
+
+// BindParams substitutes an argument vector into the plan's placeholder
+// predicates, returning an executable plan. The receiver is not modified:
+// nodes holding placeholders are shallow-copied with their predicate replaced,
+// everything else — graph, edges, chain order, untouched nodes — is shared,
+// so re-binding a cached plan is allocation-light. A plan without
+// placeholders is returned as-is (args must then be empty).
+func (p *Plan) BindParams(args []relation.Value) (*Plan, error) {
+	want := p.NumParams()
+	if len(args) != want {
+		return nil, fmt.Errorf("lera: statement wants %d argument(s), got %d", want, len(args))
+	}
+	if want == 0 {
+		return p, nil
+	}
+	nodes := make([]*BoundNode, len(p.Nodes))
+	copy(nodes, p.Nodes)
+	for i, bn := range p.Nodes {
+		if bn == nil || bn.Pred == nil {
+			continue
+		}
+		sub, changed, err := substituteParams(bn.Pred, args)
+		if err != nil {
+			return nil, err
+		}
+		if changed {
+			nb := *bn
+			nb.Pred = sub
+			nodes[i] = &nb
+		}
+	}
+	out := *p
+	out.Nodes = nodes
+	// Every placeholder is now a constant: the bound copy is executable and
+	// demands no further arguments.
+	out.params = 0
+	return &out, nil
+}
+
+// walkParams visits every ColParam in a predicate tree.
+func walkParams(p Predicate, visit func(ColParam)) {
+	switch t := p.(type) {
+	case ColParam:
+		visit(t)
+	case And:
+		for _, q := range t.Terms {
+			walkParams(q, visit)
+		}
+	case Or:
+		for _, q := range t.Terms {
+			walkParams(q, visit)
+		}
+	case Not:
+		walkParams(t.Term, visit)
+	}
+}
+
+// substituteParams rebuilds a predicate with every ColParam replaced by a
+// bound ColConst carrying the argument value, type-checked against the column
+// type Bind recorded.
+func substituteParams(p Predicate, args []relation.Value) (Predicate, bool, error) {
+	switch t := p.(type) {
+	case ColParam:
+		if !t.bound {
+			return nil, false, fmt.Errorf("lera: BindParams on unbound parameter predicate %s", t)
+		}
+		if t.Index < 0 || t.Index >= len(args) {
+			return nil, false, fmt.Errorf("lera: parameter %s out of range for %d argument(s)", t, len(args))
+		}
+		v := args[t.Index]
+		if v.Kind() != t.typ {
+			return nil, false, fmt.Errorf("lera: argument %d is %s, column %q wants %s", t.Index+1, v.Kind(), t.Col, t.typ)
+		}
+		return ColConst{Col: t.Col, Op: t.Op, Val: v, bound: true, idx: t.idx}, true, nil
+	case And:
+		return substituteTerms(t.Terms, args, func(terms []Predicate) Predicate { return And{Terms: terms} }, t)
+	case Or:
+		return substituteTerms(t.Terms, args, func(terms []Predicate) Predicate { return Or{Terms: terms} }, t)
+	case Not:
+		sub, changed, err := substituteParams(t.Term, args)
+		if err != nil {
+			return nil, false, err
+		}
+		if !changed {
+			return t, false, nil
+		}
+		return Not{Term: sub}, true, nil
+	default:
+		return p, false, nil
+	}
+}
+
+// substituteTerms substitutes into a term list, sharing the original slice
+// (and predicate) when no term held a placeholder.
+func substituteTerms(terms []Predicate, args []relation.Value, rebuild func([]Predicate) Predicate, orig Predicate) (Predicate, bool, error) {
+	out := make([]Predicate, len(terms))
+	changed := false
+	for i, q := range terms {
+		sub, ch, err := substituteParams(q, args)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = sub
+		changed = changed || ch
+	}
+	if !changed {
+		return orig, false, nil
+	}
+	return rebuild(out), true, nil
+}

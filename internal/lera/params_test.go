@@ -1,0 +1,94 @@
+package lera
+
+import (
+	"strings"
+	"testing"
+
+	"dbs3/internal/relation"
+)
+
+// TestColParamJSONRoundTrip: placeholder predicates are part of the plan
+// graph's wire form and round-trip canonically like the other predicate
+// kinds.
+func TestColParamJSONRoundTrip(t *testing.T) {
+	g := NewGraph()
+	f := g.Filter("f", "A", And{Terms: []Predicate{
+		ColParam{Col: "unique1", Op: LT, Index: 0},
+		Not{Term: ColParam{Col: "stringu1", Op: EQ, Index: 1}},
+	}})
+	s := g.Store("s", "Res")
+	g.ConnectSame(f, s)
+
+	data, err := MarshalGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalGraph(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	data2, err := MarshalGraph(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("round trip not canonical:\n%s\nvs\n%s", data, data2)
+	}
+	pred, ok := back.Nodes[0].Pred.(And)
+	if !ok || len(pred.Terms) != 2 {
+		t.Fatalf("predicate came back as %#v", back.Nodes[0].Pred)
+	}
+	cp, ok := pred.Terms[0].(ColParam)
+	if !ok || cp.Col != "unique1" || cp.Op != LT || cp.Index != 0 {
+		t.Errorf("first term came back as %#v", pred.Terms[0])
+	}
+}
+
+// TestColParamContracts: the display form is 1-based, Eval before
+// substitution is a hard bug (panic, not a wrong answer), and Bind resolves
+// and type-records the column.
+func TestColParamContracts(t *testing.T) {
+	p := ColParam{Col: "k", Op: GE, Index: 2}
+	if got := p.String(); got != "k >= ?3" {
+		t.Errorf("String = %q", got)
+	}
+	func() {
+		defer func() {
+			if r := recover(); r == nil || !strings.Contains(r.(string), "BindParams") {
+				t.Errorf("Eval on unsubstituted placeholder: recover = %v", r)
+			}
+		}()
+		p.Eval(relation.Tuple{relation.Int(1)})
+	}()
+
+	schema, err := relation.NewSchema(
+		relation.Column{Name: "k", Type: relation.TInt},
+		relation.Column{Name: "s", Type: relation.TString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (ColParam{Col: "missing", Op: EQ}).Bind(schema); err == nil {
+		t.Error("Bind resolved a missing column")
+	}
+	bound, err := ColParam{Col: "s", Op: EQ, Index: 0}.Bind(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bound placeholder substitutes into a working constant predicate.
+	sub, changed, err := substituteParams(bound, []relation.Value{relation.Str("hit")})
+	if err != nil || !changed {
+		t.Fatalf("substitute: changed=%v err=%v", changed, err)
+	}
+	tup := relation.Tuple{relation.Int(1), relation.Str("hit")}
+	if !sub.Eval(tup) {
+		t.Error("substituted predicate rejected its matching tuple")
+	}
+	if sub.Eval(relation.Tuple{relation.Int(1), relation.Str("miss")}) {
+		t.Error("substituted predicate accepted a non-matching tuple")
+	}
+	// Substituting an unbound placeholder is refused, not mis-evaluated.
+	if _, _, err := substituteParams(ColParam{Col: "s", Op: EQ}, []relation.Value{relation.Str("x")}); err == nil {
+		t.Error("substitute accepted an unbound placeholder")
+	}
+}

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a minimal Go client for the wire protocol — the reference
+// consumer the end-to-end tests and the serve smoke script drive. Any HTTP
+// client can speak the protocol; this one exists so the tests exercise
+// exactly what we document.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// post sends a JSON body and returns the raw response.
+func (c *Client) post(ctx context.Context, path string, body any) (*http.Response, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.http().Do(req)
+}
+
+// errorFrom drains a non-200 response into an error.
+func errorFrom(resp *http.Response) error {
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("server: %s: %s", resp.Status, bytes.TrimSpace(msg))
+}
+
+// Query runs one ad-hoc statement and returns the result stream.
+func (c *Client) Query(ctx context.Context, sql string, args []any, opts *Options) (*RowStream, error) {
+	resp, err := c.post(ctx, "/query", QueryRequest{SQL: sql, Args: args, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return newRowStream(resp)
+}
+
+// Prepare compiles a statement server-side.
+func (c *Client) Prepare(ctx context.Context, sql string, opts *Options) (*PrepareResponse, error) {
+	resp, err := c.post(ctx, "/prepare", QueryRequest{SQL: sql, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorFrom(resp)
+	}
+	defer resp.Body.Close()
+	var out PrepareResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Exec executes a prepared statement with per-execution arguments. opts
+// (nil for none) override the statement's prepare-time options for this
+// execution.
+func (c *Client) Exec(ctx context.Context, id string, args []any, opts *Options) (*RowStream, error) {
+	resp, err := c.post(ctx, "/stmt/"+id+"/exec", ExecRequest{Args: args, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return newRowStream(resp)
+}
+
+// CloseStmt discards a server-side prepared statement.
+func (c *Client) CloseStmt(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Base+"/stmt/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		return errorFrom(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Stats fetches the server's manager and plan-cache counters.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorFrom(resp)
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RowStream iterates a streamed NDJSON result, cursor-style:
+//
+//	stream, err := client.Query(ctx, sql, nil, nil)
+//	defer stream.Close()
+//	for stream.Next() {
+//		row := stream.Row() // []any of int64 / string per Header.Types
+//	}
+//	if err := stream.Err(); err != nil { ... }
+//
+// Rows arrive as the server flushes chunks, so Next can return the first
+// row while the query is still executing server-side. Closing mid-stream
+// closes the HTTP body, which disconnects the request and cancels the query
+// on the server.
+type RowStream struct {
+	resp   *http.Response
+	dec    *json.Decoder
+	header *Header
+	buf    [][]any
+	cur    []any
+	footer *Footer
+	err    error
+	done   bool
+}
+
+// newRowStream validates the response and reads the header message.
+func newRowStream(resp *http.Response) (*RowStream, error) {
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorFrom(resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	var msg Message
+	if err := dec.Decode(&msg); err != nil {
+		resp.Body.Close()
+		return nil, fmt.Errorf("server: reading stream header: %w", err)
+	}
+	if msg.Error != "" {
+		resp.Body.Close()
+		return nil, fmt.Errorf("server: %s", msg.Error)
+	}
+	if msg.Header == nil {
+		resp.Body.Close()
+		return nil, fmt.Errorf("server: stream did not open with a header")
+	}
+	return &RowStream{resp: resp, dec: dec, header: msg.Header}, nil
+}
+
+// Header returns the stream's opening message.
+func (s *RowStream) Header() *Header { return s.header }
+
+// Next advances to the next row, fetching the next chunk off the wire when
+// the buffered one is drained. It returns false at the end of the stream;
+// Err distinguishes completion from failure, and Footer is set only after a
+// complete stream.
+func (s *RowStream) Next() bool {
+	if s.done {
+		return false
+	}
+	for len(s.buf) == 0 {
+		var msg Message
+		if err := s.dec.Decode(&msg); err != nil {
+			// Includes io.EOF before a done message: a truncated stream is
+			// an error, never silent completion.
+			s.fail(fmt.Errorf("server: stream truncated: %w", err))
+			return false
+		}
+		switch {
+		case msg.Error != "":
+			s.fail(fmt.Errorf("server: %s", msg.Error))
+			return false
+		case msg.Done != nil:
+			s.footer = msg.Done
+			s.finish()
+			return false
+		default:
+			s.buf = msg.Rows
+		}
+	}
+	raw := s.buf[0]
+	s.buf = s.buf[1:]
+	row, err := DecodeRow(s.header.Types, raw)
+	if err != nil {
+		s.fail(err)
+		return false
+	}
+	s.cur = row
+	return true
+}
+
+// Row returns the current row: one int64 or string per column.
+func (s *RowStream) Row() []any { return s.cur }
+
+// Err returns the error that terminated the stream, if any.
+func (s *RowStream) Err() error { return s.err }
+
+// Footer returns the terminal statistics message, or nil if the stream did
+// not complete.
+func (s *RowStream) Footer() *Footer { return s.footer }
+
+func (s *RowStream) fail(err error) {
+	s.err = err
+	s.finish()
+}
+
+func (s *RowStream) finish() {
+	if !s.done {
+		s.done = true
+		s.cur = nil
+		s.resp.Body.Close()
+	}
+}
+
+// Close releases the stream. Closing before the done message disconnects
+// the HTTP request, which cancels the query server-side and returns its
+// threads to the budget.
+func (s *RowStream) Close() error {
+	s.finish()
+	return nil
+}

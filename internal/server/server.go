@@ -1,0 +1,399 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dbs3"
+	dbruntime "dbs3/internal/runtime"
+)
+
+// defaultChunkRows is how many rows the server batches per NDJSON message.
+// Small enough that the first chunk leaves while a big query is still
+// producing, large enough that encoding overhead amortizes.
+const defaultChunkRows = 64
+
+// Config tunes a Server.
+type Config struct {
+	// DefaultOptions seeds every request's execution options; request
+	// bodies and the X-DBS3-Priority header override per field.
+	DefaultOptions dbs3.Options
+	// ChunkRows batches streamed rows per NDJSON message (0 = 64).
+	ChunkRows int
+	// MaxStatements bounds the server-side prepared-statement registry
+	// (0 = 1024); beyond it /prepare rejects with 429 so a client leak
+	// cannot grow server memory unboundedly.
+	MaxStatements int
+}
+
+// Server is the HTTP front end over a Database and its QueryManager. It is
+// an http.Handler; wire it to a listener with http.Server or httptest.
+type Server struct {
+	db      *dbs3.Database
+	manager *dbruntime.Manager
+	opts    dbs3.Options
+	chunk   int
+	maxStmt int
+
+	mu     sync.Mutex
+	stmts  map[string]*stmtEntry
+	nextID atomic.Int64
+
+	mux *http.ServeMux
+}
+
+// stmtEntry is one server-side prepared statement: the compiled handle plus
+// the options it was prepared with, kept as the baseline for per-execution
+// overrides (an exec with different options re-resolves through the plan
+// cache, so the compile work is still amortized).
+type stmtEntry struct {
+	stmt *dbs3.Stmt
+	opt  dbs3.Options
+	info PrepareResponse
+}
+
+// New builds a Server over db. The manager must be the one installed on db
+// (Database.Manager's return value); it feeds /stats and is how the serve
+// front end shares one thread budget across all clients.
+func New(db *dbs3.Database, manager *dbruntime.Manager, cfg Config) *Server {
+	if manager == nil {
+		panic("server: nil manager (install one with Database.Manager)")
+	}
+	s := &Server{
+		db:      db,
+		manager: manager,
+		opts:    cfg.DefaultOptions,
+		chunk:   cfg.ChunkRows,
+		maxStmt: cfg.MaxStatements,
+		stmts:   make(map[string]*stmtEntry),
+		mux:     http.NewServeMux(),
+	}
+	if s.chunk <= 0 {
+		s.chunk = defaultChunkRows
+	}
+	if s.maxStmt <= 0 {
+		s.maxStmt = 1024
+	}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /prepare", s.handlePrepare)
+	s.mux.HandleFunc("GET /stmt/{id}", s.handleStmtInfo)
+	s.mux.HandleFunc("POST /stmt/{id}/exec", s.handleExec)
+	s.mux.HandleFunc("DELETE /stmt/{id}", s.handleStmtClose)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// requestOptions resolves one request's execution options: server defaults,
+// overridden by the per-connection priority header, overridden by the
+// request body's options.
+func (s *Server) requestOptions(r *http.Request, wire *Options) dbs3.Options {
+	return overlayOptions(s.opts, r, wire)
+}
+
+// overlayOptions applies the priority header and per-request wire options
+// on top of a baseline.
+func overlayOptions(base dbs3.Options, r *http.Request, wire *Options) dbs3.Options {
+	opt := base
+	if h := r.Header.Get("X-DBS3-Priority"); h != "" {
+		opt.Priority = h
+	}
+	if wire == nil {
+		return opt
+	}
+	if wire.Threads != 0 {
+		opt.Threads = wire.Threads
+	}
+	if wire.Strategy != "" {
+		opt.Strategy = wire.Strategy
+	}
+	if wire.JoinAlgo != "" {
+		opt.JoinAlgo = wire.JoinAlgo
+	}
+	if wire.Grain != 0 {
+		opt.Grain = wire.Grain
+	}
+	if wire.Priority != "" {
+		opt.Priority = wire.Priority
+	}
+	if wire.StreamBuffer != 0 {
+		opt.StreamBuffer = wire.StreamBuffer
+	}
+	return opt
+}
+
+// decodeBody parses a JSON request body with UseNumber so integer arguments
+// survive undamaged.
+func decodeBody(r *http.Request, into any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("server: bad request body: %w", err)
+	}
+	return nil
+}
+
+// errorStatus maps an error from the facade to an HTTP status: full
+// admission queue is load shedding (503), a closed manager means shutdown
+// (503), everything else from prepare/bind is the client's statement (400).
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, dbruntime.ErrQueueFull), errors.Is(err, dbruntime.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// handleQuery runs one ad-hoc statement and streams its result. The plan
+// cache makes repeated SQL cheap; `?` placeholders bind from args.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		http.Error(w, "server: empty sql", http.StatusBadRequest)
+		return
+	}
+	args, err := decodeArgs(req.Args)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	opt := s.requestOptions(r, req.Options)
+	stmt, err := s.db.Prepare(req.SQL, &opt)
+	if err != nil {
+		http.Error(w, err.Error(), errorStatus(err))
+		return
+	}
+	s.stream(w, r, stmt, args)
+}
+
+// handlePrepare compiles a statement server-side and registers it under an
+// id for compile-once / execute-many clients.
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		http.Error(w, "server: empty sql", http.StatusBadRequest)
+		return
+	}
+	opt := s.requestOptions(r, req.Options)
+	stmt, err := s.db.Prepare(req.SQL, &opt)
+	if err != nil {
+		http.Error(w, err.Error(), errorStatus(err))
+		return
+	}
+	entry := &stmtEntry{stmt: stmt, opt: opt}
+	s.mu.Lock()
+	if len(s.stmts) >= s.maxStmt {
+		s.mu.Unlock()
+		http.Error(w, fmt.Sprintf("server: %d prepared statements open; close some", s.maxStmt), http.StatusTooManyRequests)
+		return
+	}
+	id := fmt.Sprintf("s%d", s.nextID.Add(1))
+	entry.info = PrepareResponse{
+		ID:      id,
+		SQL:     req.SQL,
+		Columns: stmt.Columns(),
+		Types:   stmt.ColumnTypes(),
+		Params:  stmt.NumParams(),
+	}
+	s.stmts[id] = entry
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, entry.info)
+}
+
+// lookup resolves a {id} path segment to a registered statement.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*stmtEntry, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	entry, ok := s.stmts[id]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("server: no prepared statement %q", id), http.StatusNotFound)
+		return nil, false
+	}
+	return entry, true
+}
+
+// handleStmtInfo returns a prepared statement's metadata.
+func (s *Server) handleStmtInfo(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, entry.info)
+}
+
+// handleExec executes a prepared statement with per-execution arguments.
+// The statement's prepare-time options are the baseline; the priority
+// header and the request's options override per execution, re-resolving
+// the statement through the plan cache (a hit unless the join algorithm
+// changed, which genuinely needs a different plan).
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req ExecRequest
+	if err := decodeBody(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	args, err := decodeArgs(req.Args)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	stmt := entry.stmt
+	if opt := overlayOptions(entry.opt, r, req.Options); opt != entry.opt {
+		fresh, err := s.db.Prepare(entry.info.SQL, &opt)
+		if err != nil {
+			http.Error(w, err.Error(), errorStatus(err))
+			return
+		}
+		stmt = fresh
+	}
+	s.stream(w, r, stmt, args)
+}
+
+// handleStmtClose discards a prepared statement.
+func (s *Server) handleStmtClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	entry, ok := s.stmts[id]
+	delete(s.stmts, id)
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("server: no prepared statement %q", id), http.StatusNotFound)
+		return
+	}
+	entry.stmt.Close()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStats snapshots the manager and plan-cache counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.manager.Stats()
+	hits, misses := s.db.PlanCacheStats()
+	s.mu.Lock()
+	open := len(s.stmts)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Budget:              s.manager.Budget(),
+		ActiveThreads:       st.ThreadsInFlight,
+		PeakThreads:         st.PeakThreads,
+		Active:              st.Active,
+		Queued:              st.Queued,
+		Admitted:            st.Admitted,
+		Completed:           st.Completed,
+		Failed:              st.Failed,
+		Cancelled:           st.Cancelled,
+		Rejected:            st.Rejected,
+		SmoothedUtilization: st.SmoothedUtilization,
+		PlanCacheHits:       hits,
+		PlanCacheMisses:     misses,
+		Statements:          open,
+		Relations:           s.db.Relations(),
+	})
+}
+
+// stream executes stmt under the request's context and writes the NDJSON
+// result stream. The request context is the cancellation path: a client
+// that disconnects mid-stream cancels the query, the engine unwinds, and
+// Admission.Finish returns its threads to the shared budget — the deferred
+// Close is a no-op by then.
+func (s *Server) stream(w http.ResponseWriter, r *http.Request, stmt *dbs3.Stmt, args []any) {
+	rows, err := stmt.QueryContext(r.Context(), args...)
+	if err != nil {
+		http.Error(w, err.Error(), errorStatus(err))
+		return
+	}
+	defer rows.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not re-buffer the stream
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	cols := rows.Columns()
+	if err := enc.Encode(Message{Header: &Header{
+		Columns:     cols,
+		Types:       rows.ColumnTypes(),
+		Threads:     rows.Threads(),
+		Utilization: rows.Utilization(),
+	}}); err != nil {
+		return
+	}
+	flush()
+
+	var count int64
+	chunk := make([][]any, 0, s.chunk)
+	emit := func() bool {
+		if len(chunk) == 0 {
+			return true
+		}
+		err := enc.Encode(Message{Rows: chunk})
+		chunk = chunk[:0]
+		flush()
+		return err == nil
+	}
+	for rows.Next() {
+		row := make([]any, len(cols))
+		ptrs := make([]any, len(cols))
+		for i := range row {
+			ptrs[i] = &row[i]
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			enc.Encode(Message{Error: err.Error()})
+			return
+		}
+		chunk = append(chunk, row)
+		count++
+		if len(chunk) >= s.chunk && !emit() {
+			return
+		}
+	}
+	if err := rows.Err(); err != nil {
+		// The header is already on the wire, so the failure travels in-band;
+		// the missing done message tells a half-read client the stream is
+		// truncated, not complete.
+		enc.Encode(Message{Error: err.Error()})
+		return
+	}
+	if !emit() {
+		return
+	}
+	enc.Encode(Message{Done: &Footer{RowCount: count, Threads: rows.Threads(), Operators: rows.Operators()}})
+	flush()
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -34,6 +34,7 @@ import (
 // parallel regardless.
 type Rows struct {
 	cols        []string
+	types       []string
 	threads     int
 	utilization float64
 
@@ -56,6 +57,10 @@ type Rows struct {
 // Columns names the result columns, known from the prepared plan before the
 // first row arrives.
 func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// ColumnTypes reports the result column types ("INT" or "STRING"), aligned
+// with Columns and likewise known before the first row.
+func (r *Rows) ColumnTypes() []string { return append([]string(nil), r.types...) }
 
 // Threads is the total degree of parallelism the scheduler allocated.
 func (r *Rows) Threads() int { return r.threads }

@@ -4,12 +4,14 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
 	"dbs3/internal/core"
 	"dbs3/internal/esql"
 	"dbs3/internal/lera"
+	"dbs3/internal/relation"
 	dbruntime "dbs3/internal/runtime"
 )
 
@@ -23,14 +25,18 @@ const planCacheCap = 128
 const defaultStreamBuffer = 64
 
 // preparedPlan is one compiled statement: the bound Lera-par plan, the graph
-// for EXPLAIN, and the result column names (known statically from the store
-// node's input schema). It is immutable after compilation — executions only
-// read it — which is what makes a Stmt safe for concurrent reuse.
+// for EXPLAIN, the result column names and types (known statically from the
+// store node's input schema), and the `?` placeholder count. It is immutable
+// after compilation — executions only read it (placeholder arguments are
+// substituted into a per-execution shallow copy of the plan) — which is what
+// makes a Stmt safe for concurrent reuse.
 type preparedPlan struct {
-	plan  *lera.Plan
-	graph *lera.Graph
-	cols  []string
-	epoch uint64
+	plan   *lera.Plan
+	graph  *lera.Graph
+	cols   []string
+	types  []string
+	params int
+	epoch  uint64
 }
 
 // planCache is an LRU of compiled statements keyed on SQL + join algorithm.
@@ -174,24 +180,74 @@ func (db *Database) prepare(sql string, opt *Options) (*preparedPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	prep = &preparedPlan{plan: plan, graph: g, cols: outputColumns(plan), epoch: epoch}
+	cols, types := outputColumns(plan)
+	prep = &preparedPlan{plan: plan, graph: g, cols: cols, types: types, params: plan.NumParams(), epoch: epoch}
 	db.cache.put(key, prep)
 	return prep, nil
 }
 
-// outputColumns reads the result column names off the final store node's
-// input schema — available at compile time, before any row is produced.
-func outputColumns(plan *lera.Plan) []string {
+// outputColumns reads the result column names and types off the final store
+// node's input schema — available at compile time, before any row is
+// produced. Types use the SQL-ish names ("INT", "STRING") so they can cross
+// a wire protocol verbatim.
+func outputColumns(plan *lera.Plan) (cols, types []string) {
 	id, ok := plan.Outputs[esql.OutputName]
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	schema := plan.Nodes[id].InSchema
-	cols := make([]string, schema.Len())
+	cols = make([]string, schema.Len())
+	types = make([]string, schema.Len())
 	for i := range cols {
 		cols[i] = schema.Column(i).Name
+		types[i] = schema.Column(i).Type.String()
 	}
-	return cols
+	return cols, types
+}
+
+// bindArgs converts caller-supplied placeholder arguments to engine values.
+// The engine's type system is INT and STRING; every Go integer kind maps to
+// INT (unsigned values must fit int64), strings map to STRING.
+func bindArgs(args []any) ([]relation.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	vals := make([]relation.Value, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case int:
+			vals[i] = relation.Int(int64(v))
+		case int8:
+			vals[i] = relation.Int(int64(v))
+		case int16:
+			vals[i] = relation.Int(int64(v))
+		case int32:
+			vals[i] = relation.Int(int64(v))
+		case int64:
+			vals[i] = relation.Int(v)
+		case uint:
+			if uint64(v) > math.MaxInt64 {
+				return nil, fmt.Errorf("dbs3: argument %d overflows INT", i+1)
+			}
+			vals[i] = relation.Int(int64(v))
+		case uint8:
+			vals[i] = relation.Int(int64(v))
+		case uint16:
+			vals[i] = relation.Int(int64(v))
+		case uint32:
+			vals[i] = relation.Int(int64(v))
+		case uint64:
+			if v > math.MaxInt64 {
+				return nil, fmt.Errorf("dbs3: argument %d overflows INT", i+1)
+			}
+			vals[i] = relation.Int(int64(v))
+		case string:
+			vals[i] = relation.Str(v)
+		default:
+			return nil, fmt.Errorf("dbs3: unsupported argument %d type %T (want an integer or string)", i+1, a)
+		}
+	}
+	return vals, nil
 }
 
 // SQL returns the statement's source text.
@@ -200,22 +256,33 @@ func (s *Stmt) SQL() string { return s.sql }
 // Columns names the result columns the statement produces.
 func (s *Stmt) Columns() []string { return append([]string(nil), s.prep.Load().cols...) }
 
+// ColumnTypes reports the result column types ("INT" or "STRING"), aligned
+// with Columns — the static half of a wire protocol's row encoding.
+func (s *Stmt) ColumnTypes() []string { return append([]string(nil), s.prep.Load().types...) }
+
+// NumParams reports how many `?` placeholder arguments each execution must
+// supply.
+func (s *Stmt) NumParams() int { return s.prep.Load().params }
+
 // Close releases the statement. The compiled plan stays in the database's
 // plan cache for future statements; Close exists for API symmetry and
 // forward compatibility.
 func (s *Stmt) Close() error { return nil }
 
-// Query executes the prepared statement with a background context.
-func (s *Stmt) Query() (*Rows, error) {
-	return s.QueryContext(context.Background())
+// Query executes the prepared statement with a background context, binding
+// args to the statement's `?` placeholders in order.
+func (s *Stmt) Query(args ...any) (*Rows, error) {
+	return s.QueryContext(context.Background(), args...)
 }
 
 // QueryContext executes the prepared statement against the current catalog
 // snapshot and returns a streaming cursor. Compilation is skipped entirely —
-// the bound plan is reused — so the per-execution cost is admission plus
-// execution. Cancelling ctx (or closing the cursor) aborts the execution and
-// returns its threads to the manager budget.
-func (s *Stmt) QueryContext(ctx context.Context) (*Rows, error) {
+// the bound plan is reused; args are substituted into the plan's placeholder
+// predicates per execution (type-checked against the column each `?`
+// compares with), so one cached plan serves a whole family of predicates.
+// Cancelling ctx (or closing the cursor) aborts the execution and returns
+// its threads to the manager budget.
+func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -233,6 +300,18 @@ func (s *Stmt) QueryContext(ctx context.Context) (*Rows, error) {
 		// compiled at a newer epoch; never replace it with an older one.
 		s.prep.CompareAndSwap(prep, fresh)
 		prep = fresh
+	}
+	vals, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	// Per-execution placeholder binding: a shallow copy of the plan with
+	// ColParam predicates replaced by the argument constants. The cached
+	// plan itself is never mutated, so concurrent executions with distinct
+	// bindings cannot see each other's arguments.
+	execPlan, err := prep.plan.BindParams(vals)
+	if err != nil {
+		return nil, err
 	}
 	rels, manager := s.db.snapshotRels()
 
@@ -254,9 +333,8 @@ func (s *Stmt) QueryContext(ctx context.Context) (*Rows, error) {
 	var adm *dbruntime.Admission
 	var alloc core.Allocation
 	utilization := s.opt.Utilization
-	var err error
 	if manager != nil {
-		adm, err = manager.Admit(qctx, prep.plan, rels, &copts, s.pri)
+		adm, err = manager.Admit(qctx, execPlan, rels, &copts, s.pri)
 		if err != nil {
 			cancel()
 			return nil, err
@@ -264,7 +342,7 @@ func (s *Stmt) QueryContext(ctx context.Context) (*Rows, error) {
 		alloc = adm.Alloc()
 		utilization = adm.Stats.Utilization
 	} else {
-		alloc, err = core.PlanAllocation(prep.plan, rels, copts)
+		alloc, err = core.PlanAllocation(execPlan, rels, copts)
 		if err != nil {
 			cancel()
 			return nil, err
@@ -273,6 +351,7 @@ func (s *Stmt) QueryContext(ctx context.Context) (*Rows, error) {
 
 	r := &Rows{
 		cols:        prep.cols,
+		types:       prep.types,
 		threads:     alloc.Total,
 		utilization: utilization,
 		ch:          ch,
@@ -281,7 +360,7 @@ func (s *Stmt) QueryContext(ctx context.Context) (*Rows, error) {
 		parent:      ctx,
 	}
 	go func() {
-		res, execErr := core.ExecuteAllocated(qctx, prep.plan, rels, copts, alloc)
+		res, execErr := core.ExecuteAllocated(qctx, execPlan, rels, copts, alloc)
 		if adm != nil {
 			// Threads are back in the budget before the cursor observes the
 			// end of the stream — Close-mid-result frees them immediately.
@@ -289,7 +368,7 @@ func (s *Stmt) QueryContext(ctx context.Context) (*Rows, error) {
 		}
 		r.execErr = execErr
 		if execErr == nil && res != nil {
-			r.operators = operatorStats(prep.plan, res)
+			r.operators = operatorStats(execPlan, res)
 		}
 		close(r.done)
 		close(ch)
