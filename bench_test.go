@@ -382,6 +382,40 @@ func BenchmarkUnmanagedThroughput8Clients(b *testing.B) {
 	wg.Wait()
 }
 
+// Multi-chain adaptive throughput: concurrent clients run a Materialize
+// GROUP BY — two chains with a thread renegotiation at the boundary — so
+// every query returns its scan/filter chain's surplus threads to the budget
+// before aggregating. The readmission counters are reported as metrics; the
+// managed-vs-unmanaged benches above are the single-chain baseline.
+func BenchmarkManagedAdaptiveMultiChain(b *testing.B) {
+	db := concurrentDB(b)
+	m := db.Manager(dbs3.ManagerConfig{Budget: 8})
+	opt := &dbs3.Options{Materialize: true}
+	const clients = 4
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := (b.N + clients - 1) / clients
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := db.QueryAll("SELECT ten, COUNT(*) FROM wisc GROUP BY ten", opt); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := m.Stats()
+	b.ReportMetric(float64(st.PeakThreads), "peak_threads")
+	if st.Completed > 0 {
+		b.ReportMetric(float64(st.Readmissions)/float64(st.Completed), "readmissions/query")
+		b.ReportMetric(float64(st.ThreadsReturnedEarly)/float64(st.Completed), "threads_returned/query")
+	}
+}
+
 // Extension bench (§6 future work): the grain of parallelism lifts the
 // skewed triggered join's ceiling.
 func BenchmarkExtGrainOfParallelism(b *testing.B) {

@@ -72,6 +72,7 @@ func main() {
 		strategy    = flag.String("strategy", "auto", "consumption strategy: auto, random, lpt")
 		joinAlgo    = flag.String("join", "hash", "join algorithm: hash, nested-loop, temp-index")
 		priority    = flag.String("priority", "interactive", "admission class under the manager: interactive, batch")
+		materialize = flag.Bool("materialize", false, "insert a materialization point before aggregation/projection (two chains; the manager renegotiates threads at the boundary)")
 		explain     = flag.Bool("explain", false, "print the parallel plan (DOT) instead of executing")
 		limit       = flag.Int("limit", 20, "maximum rows to print (the rest are drained and counted, not shown)")
 		wisc        = flag.Int("wisc", 10_000, "wisconsin relation cardinality")
@@ -105,7 +106,7 @@ func main() {
 		fatal(err)
 	}
 
-	opt := &dbs3.Options{Threads: *threads, Strategy: *strategy, JoinAlgo: *joinAlgo, Priority: *priority}
+	opt := &dbs3.Options{Threads: *threads, Strategy: *strategy, JoinAlgo: *joinAlgo, Priority: *priority, Materialize: *materialize}
 	if *explain {
 		if *concurrency > 1 {
 			fatal(fmt.Errorf("-explain and -concurrency are mutually exclusive"))
@@ -168,7 +169,7 @@ func runStreaming(db *dbs3.Database, query string, opt *dbs3.Options, limit int)
 	if total > printed {
 		fmt.Printf("... (%d rows not shown)\n", total-printed)
 	}
-	fmt.Print(dbs3.FormatStats(total, rows.Threads(), rows.Operators()))
+	fmt.Print(dbs3.FormatStats(total, rows.Threads(), rows.ChainThreads(), rows.Operators()))
 }
 
 // runBatch is the concurrent driver: workers prepare the ';'-separated
@@ -246,6 +247,10 @@ func runBatch(db *dbs3.Database, query string, opt *dbs3.Options, workers, repea
 	}
 	fmt.Printf("  manager:        admitted %d, completed %d, failed %d, cancelled %d, rejected %d, peak threads %d/%d\n",
 		st.Admitted, st.Completed, st.Failed, st.Cancelled, st.Rejected, st.PeakThreads, budget)
+	if st.Readmissions > 0 {
+		fmt.Printf("  readmissions:   %d at chain boundaries (%d threads returned early, %d grown mid-flight)\n",
+			st.Readmissions, st.ThreadsReturnedEarly, st.ThreadsGrownMidFlight)
+	}
 	fmt.Printf("  plan cache:     %d hits, %d misses\n", st.PlanCacheHits, st.PlanCacheMisses)
 	if failures > 0 {
 		os.Exit(1)

@@ -72,6 +72,6 @@ func (r *Result) String() string {
 	for _, row := range cells {
 		writeRow(row)
 	}
-	b.WriteString(FormatStats(len(r.Data), r.Threads, r.Operators))
+	b.WriteString(FormatStats(len(r.Data), r.Threads, r.ChainThreads, r.Operators))
 	return b.String()
 }

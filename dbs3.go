@@ -66,6 +66,12 @@
 // does the same: the query drains its operation pools and its threads are
 // back in the budget when Close returns.
 //
+// Allocations stay adaptive while a query runs: at each chain boundary of a
+// multi-chain plan (Options.Materialize compiles one), the reservation is
+// renegotiated against freshly measured load — a finished chain's surplus
+// threads return to the budget mid-flight, and a later chain can grow into
+// budget freed by completed peers (Rows.ChainThreads traces the grants).
+//
 // The serve-mode front end (internal/server, `dbs3 serve`) exposes all of
 // the above over HTTP: streamed NDJSON results, server-side prepared
 // statements with placeholder arguments, per-request admission priorities,
@@ -76,6 +82,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -311,6 +318,17 @@ type Options struct {
 	// (default) is served ahead of "batch" at the admission queue, with
 	// aging so batch is never starved. Ignored without a manager.
 	Priority string
+	// Materialize inserts an explicit materialization point before the
+	// aggregation/projection stage, splitting the plan into two pipeline
+	// chains. The split costs an intermediate materialization but creates
+	// the §3 chain boundary where a QueryManager renegotiates the query's
+	// thread reservation mid-flight: the first chain's surplus threads
+	// return to the shared budget before the second chain starts (or the
+	// second grows into freed budget), visible as Readmissions /
+	// ThreadsReturnedEarly in the manager Stats and as the per-chain trace
+	// in Rows.ChainThreads. Plans with an explicit Threads setting keep
+	// their allocation through both chains.
+	Materialize bool
 	// StreamBuffer is the bounded row-sink capacity between the engine and
 	// the Rows cursor (0 = a small default). Smaller values bound result
 	// memory tighter and apply backpressure sooner; larger values decouple
@@ -438,7 +456,10 @@ func (db *Database) QueryAllContext(ctx context.Context, sql string, opt *Option
 }
 
 // Explain compiles a statement and returns its parallel plan in Graphviz DOT
-// form (the Lera-par "simple view" of Figure 1).
+// form (the Lera-par "simple view" of Figure 1), footed by the per-chain
+// allocation split: each pipeline chain's nodes, its planned thread total
+// and the desired total it renegotiates for at its materialization point
+// under a QueryManager.
 func (db *Database) Explain(sql string, opt *Options) (string, error) {
 	return db.ExplainContext(context.Background(), sql, opt)
 }
@@ -454,5 +475,41 @@ func (db *Database) ExplainContext(ctx context.Context, sql string, opt *Options
 	if err != nil {
 		return "", err
 	}
-	return prep.graph.Dot(), nil
+	return prep.graph.Dot() + db.explainChains(prep.plan, opt), nil
+}
+
+// explainChains renders the per-chain allocation split as DOT comment lines:
+// what the scheduler would allocate against the current catalog, and — for
+// multi-chain plans — the per-chain desired totals a manager renegotiates at
+// each materialization point. Allocation is advisory here; a plan that
+// cannot be costed (for example against a relation dropped since compile)
+// yields no footer rather than an error.
+func (db *Database) explainChains(plan *lera.Plan, opt *Options) string {
+	copts := core.Options{}
+	if opt != nil {
+		copts.Threads = opt.Threads
+		copts.Utilization = opt.Utilization
+	}
+	rels, manager := db.snapshotRels()
+	if manager != nil {
+		copts.Processors = manager.Budget()
+		copts.Machine = manager.Budget()
+	}
+	alloc, err := core.PlanAllocation(plan, rels, copts)
+	if err != nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// allocation: %d threads over %d chain(s)\n", alloc.Total, len(plan.Chains))
+	for ci, chain := range plan.Chains {
+		names := make([]string, len(chain))
+		for i, id := range chain {
+			names[i] = plan.Graph.Nodes[id].Name
+		}
+		fmt.Fprintf(&b, "// chain %d: threads=%d want=%d nodes=%s\n", ci, alloc.Chain[ci], alloc.Want(ci), strings.Join(names, " -> "))
+	}
+	if len(plan.Chains) > 1 {
+		b.WriteString("// multi-chain plan: a QueryManager renegotiates the reservation at each chain boundary (want, throttled by live utilization)\n")
+	}
+	return b.String()
 }

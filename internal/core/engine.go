@@ -52,6 +52,24 @@ type Options struct {
 	StartupCost   float64
 	SkewThreshold float64
 	Utilization   float64
+	// Machine is the hardware (or budget) processor ceiling for per-chain
+	// desired thread counts; see SchedulerOptions.Machine. 0 = Processors.
+	Machine int
+	// Readmit, when set, renegotiates the query's thread reservation at
+	// the materialization points of a sequential multi-chain execution:
+	// before each chain starts, the engine calls Readmit with the chain
+	// index, the chain's desired thread count (Allocation.ChainWant) and
+	// the chain's node count (min — every node pool runs at least one
+	// thread, so a grant below it cannot actually be honored), and
+	// receives the granted total; the chain's per-node threads are
+	// redistributed over the grant (Allocation.ResizeChain). An admission
+	// controller uses the hook to take back a finished chain's surplus
+	// threads — or hand out freed budget — between chains
+	// (runtime.Manager.Readmit). Readmit must never block on the budget:
+	// a grant below the request is the correct answer when the machine is
+	// busy. Ignored for single-chain plans, with ConcurrentChains, and
+	// when Threads is set explicitly (explicit requests are not adapted).
+	Readmit func(chain, want, min int) int
 	// CostModel weighs plan complexity estimation; zero value = defaults.
 	CostModel *lera.CostModel
 	// StreamOutput names a store output to stream instead of materialize:
@@ -156,6 +174,7 @@ func PlanAllocation(plan *lera.Plan, db DB, opts Options) (Allocation, error) {
 		SkewThreshold:    opts.SkewThreshold,
 		Utilization:      opts.Utilization,
 		ConcurrentChains: opts.ConcurrentChains,
+		Machine:          opts.Machine,
 	}), nil
 }
 
@@ -183,9 +202,26 @@ func ExecuteAllocated(ctx context.Context, plan *lera.Plan, db DB, opts Options,
 	}
 	var mu sync.Mutex // guards work and res across concurrently running chains
 	if !opts.ConcurrentChains {
-		for _, chain := range plan.Chains {
+		// Mid-flight re-admission: at each materialization point of a
+		// multi-chain plan, renegotiate the thread reservation for the
+		// chain about to start and redistribute its node threads over the
+		// grant. Explicit thread counts are never adapted.
+		readmit := opts.Readmit
+		if opts.Threads > 0 || len(plan.Chains) < 2 {
+			readmit = nil
+		}
+		if readmit != nil {
+			alloc = alloc.clone()
+			res.Alloc = alloc
+		}
+		for ci, chain := range plan.Chains {
 			if err := ctx.Err(); err != nil {
 				return nil, err
+			}
+			if readmit != nil {
+				if grant := readmit(ci, alloc.Want(ci), len(chain)); grant != alloc.Chain[ci] {
+					alloc.ResizeChain(ci, chain, grant)
+				}
 			}
 			if err := runChain(ctx, plan, chain, work, alloc, opts, res, &mu); err != nil {
 				return nil, err

@@ -35,6 +35,13 @@ type SchedulerOptions struct {
 	// equation system; when false (sequential chains), every chain gets the
 	// full N while it runs.
 	ConcurrentChains bool
+	// Machine is the hardware (or budget) processor ceiling used for the
+	// per-chain desired thread counts (Allocation.ChainWant); 0 = Processors.
+	// An admission controller sets Processors to the instantaneous budget
+	// headroom so the initial allocation fits what is free right now, but
+	// Machine to the whole budget, so a chain-boundary renegotiation can
+	// still grow into budget freed after admission.
+	Machine int
 }
 
 func (o SchedulerOptions) withDefaults() SchedulerOptions {
@@ -57,10 +64,86 @@ type Allocation struct {
 	Total int
 	// Chain[c] is chain c's thread count (step 2).
 	Chain []int
+	// ChainWant[c] is chain c's desired thread count considered in
+	// isolation: the step-1 square-root rule applied to the chain's own
+	// complexity, capped by the machine (Machine, or Processors) but NOT
+	// throttled by utilization or by the admission-time headroom. It is
+	// what a sequential execution asks for when it renegotiates its
+	// reservation at the materialization point before the chain — the
+	// renegotiator re-applies the utilization throttle with a fresh
+	// measurement. An explicit Threads setting fixes every entry to N
+	// (explicit requests are never adapted).
+	ChainWant []int
 	// Node[id] is node id's thread count within its chain (step 3).
 	Node map[int]int
 	// Strategy[id] is node id's consumption strategy (step 4).
 	Strategy map[int]StrategyKind
+
+	// nodeCost[id] is the complexity estimate step 3 distributed threads
+	// by, kept so ResizeChain can re-run the distribution for a
+	// renegotiated chain total.
+	nodeCost []float64
+}
+
+// clone copies the mutable layers of an Allocation (Chain and Node) so a
+// renegotiating execution can resize chains without mutating the allocation
+// its admission reserved. ChainWant, Strategy and the cost estimates are
+// read-only and stay shared.
+func (a Allocation) clone() Allocation {
+	a.Chain = append([]int(nil), a.Chain...)
+	node := make(map[int]int, len(a.Node))
+	for k, v := range a.Node {
+		node[k] = v
+	}
+	a.Node = node
+	return a
+}
+
+// Want returns chain ci's desired thread count (see ChainWant), falling back
+// to the planned chain total for allocations without the per-chain split.
+func (a Allocation) Want(ci int) int {
+	if ci >= 0 && ci < len(a.ChainWant) {
+		return a.ChainWant[ci]
+	}
+	if ci >= 0 && ci < len(a.Chain) {
+		return a.Chain[ci]
+	}
+	return a.Total
+}
+
+// ResizeChain re-runs step 3 for one chain with a renegotiated thread total:
+// the chain's node thread counts are redistributed proportionally to the
+// same complexity estimates the original allocation used. chain lists the
+// chain's node ids (plan.Chains[ci]). Called at a materialization point when
+// an admission controller granted a different thread count than the plan
+// assumed.
+func (a *Allocation) ResizeChain(ci int, chain []int, threads int) {
+	if ci < 0 || ci >= len(a.Chain) || len(chain) == 0 {
+		return
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	a.Chain[ci] = threads
+	weights := make([]float64, len(chain))
+	sum := 0.0
+	for i, id := range chain {
+		w := 0.0
+		if id >= 0 && id < len(a.nodeCost) {
+			w = a.nodeCost[id]
+		}
+		if w <= 0 {
+			// No estimate (hand-built allocation): weigh by the current
+			// shares so the resize preserves the existing proportions.
+			w = float64(a.Node[id])
+		}
+		weights[i] = w
+		sum += w
+	}
+	shares := proportional(threads, weights, sum)
+	for i, id := range chain {
+		a.Node[id] = shares[i]
+	}
 }
 
 // Allocate runs the four steps. instCosts gives the per-instance cost
@@ -93,11 +176,35 @@ func Allocate(plan *lera.Plan, costs *lera.Costs, instCosts func(nodeID int) []f
 			chainThreads[i] = n
 		}
 	}
+	// Per-chain desired totals for chain-boundary renegotiation: the step-1
+	// rule on each chain's own complexity, capped by the machine but not by
+	// the moment's utilization (the renegotiator re-measures that).
+	wantCap := o.Processors
+	if o.Machine > wantCap {
+		wantCap = o.Machine
+	}
+	chainWant := make([]int, len(plan.Chains))
+	for ci := range plan.Chains {
+		if o.Threads > 0 {
+			chainWant[ci] = n
+			continue
+		}
+		w := int(math.Round(math.Sqrt(costs.Chain[ci] / o.StartupCost)))
+		if w < 1 {
+			w = 1
+		}
+		if w > wantCap {
+			w = wantCap
+		}
+		chainWant[ci] = w
+	}
 	alloc := Allocation{
-		Total:    n,
-		Chain:    chainThreads,
-		Node:     make(map[int]int, len(plan.Nodes)),
-		Strategy: make(map[int]StrategyKind, len(plan.Nodes)),
+		Total:     n,
+		Chain:     chainThreads,
+		ChainWant: chainWant,
+		Node:      make(map[int]int, len(plan.Nodes)),
+		Strategy:  make(map[int]StrategyKind, len(plan.Nodes)),
+		nodeCost:  append([]float64(nil), costs.Node...),
 	}
 
 	// Step 3: distribute each chain's threads over its operations using the

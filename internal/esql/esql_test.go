@@ -485,3 +485,44 @@ func TestCompileMultiJoinErrors(t *testing.T) {
 		t.Errorf("stream-to-Br join on id should compile: %v", err)
 	}
 }
+
+// TestCompileMaterialize: the Materialize compiler splits a statement into
+// two pipeline chains around an explicit stage store, and the split changes
+// no answers.
+func TestCompileMaterialize(t *testing.T) {
+	db := testDB(t)
+	for _, sql := range []string{
+		"SELECT id FROM A WHERE k < 5",
+		"SELECT k, COUNT(*) FROM A GROUP BY k",
+		"SELECT * FROM A JOIN B ON A.k = B.k WHERE A.id < 200",
+	} {
+		c := compiler(t, db)
+		c.Materialize = true
+		plan, _, err := c.Compile(sql)
+		if err != nil {
+			t.Fatalf("compile %q: %v", sql, err)
+		}
+		if len(plan.Chains) != 2 {
+			t.Errorf("%q compiled to %d chains, want 2", sql, len(plan.Chains))
+		}
+		if _, ok := plan.Outputs[StageName]; !ok {
+			t.Errorf("%q has no stage output: %v", sql, plan.Outputs)
+		}
+		res, err := core.Execute(plan, db.Relations(), core.Options{Threads: 4})
+		if err != nil {
+			t.Fatalf("execute %q: %v", sql, err)
+		}
+		plain := run(t, db, sql)
+		got, err := res.Relation(OutputName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := plain.Relation(OutputName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cardinality() != want.Cardinality() {
+			t.Errorf("%q: materialized plan returned %d rows, plain %d", sql, got.Cardinality(), want.Cardinality())
+		}
+	}
+}

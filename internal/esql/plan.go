@@ -11,6 +11,10 @@ import (
 // OutputName is the relation name every compiled query stores its result as.
 const OutputName = "result"
 
+// StageName is the intermediate relation a Materialize plan stores between
+// its two chains (see Compiler.Materialize).
+const StageName = "__stage"
+
 // Compiler turns parsed queries into bound Lera-par plans, using catalog
 // metadata to pick the parallel join shape: co-located operands become a
 // triggered join (IdealJoin); otherwise the non-co-located operand is
@@ -21,6 +25,14 @@ type Compiler struct {
 	Resolver lera.Resolver
 	// JoinAlgo selects the join implementation (default HashJoin).
 	JoinAlgo lera.JoinAlgo
+	// Materialize inserts an explicit materialization point before the
+	// aggregation/projection stage: the scan/join/filter part of the query
+	// stores its stream as an intermediate relation (StageName) and a
+	// second pipeline chain scans it into the rest of the plan. The split
+	// costs a materialization but gives the executor a §3 chain boundary —
+	// the site where a QueryManager renegotiates the query's thread
+	// reservation mid-flight (Manager.Readmit).
+	Materialize bool
 }
 
 // Compile parses and plans one statement, returning the bound plan and the
@@ -172,7 +184,15 @@ func (c *Compiler) planJoin(q *Query) (*lera.Graph, error) {
 }
 
 // finish appends the optional aggregate or projection and the store node.
+// With Materialize set, the stream produced so far is first stored as the
+// stage relation and scanned back by a second chain, turning the plan into
+// two chains with a materialization point between them.
 func (c *Compiler) finish(g *lera.Graph, head *lera.Node, schema *relation.Schema, resolve func(string) (string, error), q *Query) (*lera.Graph, error) {
+	if c.Materialize {
+		st := g.Store("stage", StageName)
+		g.ConnectSame(head, st)
+		head = g.Transmit("scan", StageName)
+	}
 	if q.Agg != nil {
 		groupBy := make([]string, len(q.GroupBy))
 		for i, col := range q.GroupBy {

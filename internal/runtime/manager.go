@@ -15,11 +15,21 @@
 // including when a client closes its cursor mid-result, which is how
 // streaming queries hand threads back early. Execute remains the one-call
 // convenience wrapper.
+//
+// Reservations are renegotiable mid-flight: at each chain boundary of a
+// multi-chain query — the paper's materialization points — the engine calls
+// Manager.Readmit with the next chain's desired thread count, and the
+// manager returns the finished chain's surplus to the budget or grows the
+// allocation into freed headroom, re-running the scheduler's utilization
+// throttle with a fresh measurement. A long batch query thus stops pinning
+// its admission-time thread count through chains that need fewer, and can
+// expand into budget released by completed peers.
 package runtime
 
 import (
 	"context"
 	"errors"
+	"math"
 	"runtime"
 	"sync"
 
@@ -102,6 +112,14 @@ type Stats struct {
 	// queries; PeakThreads is its lifetime high-water mark (always <= the
 	// budget).
 	ThreadsInFlight, PeakThreads int
+	// Readmissions counts chain-boundary renegotiations: every time a
+	// multi-chain query re-ran the Figure 5 scheduler step at a
+	// materialization point (Manager.Readmit), whether or not the grant
+	// changed. ThreadsReturnedEarly totals the threads such renegotiations
+	// handed back to the budget mid-flight (before Finish);
+	// ThreadsGrownMidFlight totals the threads they took out of freed
+	// budget to grow a later chain.
+	Readmissions, ThreadsReturnedEarly, ThreadsGrownMidFlight int64
 	// SmoothedUtilization is the EWMA over recently completed queries'
 	// leftover utilization — the slow half of the admission feedback
 	// signal.
@@ -136,6 +154,11 @@ type QueryStats struct {
 	Available int
 	// Priority is the admission class the query was queued under.
 	Priority Priority
+	// ChainThreads is the per-chain thread trace of a multi-chain query:
+	// the totals granted at each materialization-point renegotiation, in
+	// chain order. Empty for single-chain queries, explicit-thread queries
+	// and unmanaged executions (populated at Finish).
+	ChainThreads []int
 }
 
 // ewmaAlpha weighs a completed query's leftover-utilization sample into the
@@ -181,13 +204,21 @@ type Manager struct {
 	cacheHits   int64
 	cacheMisses int64
 
-	admitted  int64
-	completed int64
-	failed    int64
-	cancelled int64
-	rejected  int64
-	peak      int
+	admitted        int64
+	completed       int64
+	failed          int64
+	cancelled       int64
+	rejected        int64
+	readmissions    int64
+	threadsReturned int64
+	threadsGrown    int64
+	peak            int
 }
+
+// planAllocation is the out-of-lock allocation-planning step of Admit,
+// swappable in tests to interpose exactly between a ticket passing its wait
+// and the reservation (the cancel/Close-during-planning races).
+var planAllocation = core.PlanAllocation
 
 // NewManager creates a manager with the given configuration.
 func NewManager(cfg Config) *Manager {
@@ -355,21 +386,130 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Stats{
-		Admitted:            m.admitted,
-		Completed:           m.completed,
-		Failed:              m.failed,
-		Cancelled:           m.cancelled,
-		Rejected:            m.rejected,
-		Queued:              m.queued[PriorityInteractive] + m.queued[PriorityBatch],
-		QueuedInteractive:   m.queued[PriorityInteractive],
-		QueuedBatch:         m.queued[PriorityBatch],
-		Active:              m.active,
-		ThreadsInFlight:     m.allocated,
-		PeakThreads:         m.peak,
-		SmoothedUtilization: m.ewma,
-		PlanCacheHits:       m.cacheHits,
-		PlanCacheMisses:     m.cacheMisses,
+		Admitted:              m.admitted,
+		Completed:             m.completed,
+		Failed:                m.failed,
+		Cancelled:             m.cancelled,
+		Rejected:              m.rejected,
+		Queued:                m.queued[PriorityInteractive] + m.queued[PriorityBatch],
+		QueuedInteractive:     m.queued[PriorityInteractive],
+		QueuedBatch:           m.queued[PriorityBatch],
+		Active:                m.active,
+		ThreadsInFlight:       m.allocated,
+		PeakThreads:           m.peak,
+		Readmissions:          m.readmissions,
+		ThreadsReturnedEarly:  m.threadsReturned,
+		ThreadsGrownMidFlight: m.threadsGrown,
+		SmoothedUtilization:   m.ewma,
+		PlanCacheHits:         m.cacheHits,
+		PlanCacheMisses:       m.cacheMisses,
 	}
+}
+
+// blendLocked blends an instantaneous utilization sample with the
+// completion EWMA, only ever upward: a calm instant right after a burst is
+// still treated as busy, while a genuinely loaded instant is never watered
+// down by a calm history. Shared by the admission sample and the
+// chain-boundary renegotiation so the two throttles cannot drift apart.
+func (m *Manager) blendLocked(u float64) float64 {
+	if m.ewmaSet {
+		if blended := ewmaBlend*u + (1-ewmaBlend)*m.ewma; blended > u {
+			u = blended
+		}
+	}
+	return u
+}
+
+// Readmit renegotiates an in-flight admission's thread reservation at a
+// chain boundary — the paper's materialization points, where a plan-based
+// re-optimization is safe because no operator is mid-pipeline. want is the
+// next chain's desired thread count (Allocation.ChainWant) and min its node
+// count — the floor the chain actually runs with, since every node pool
+// needs at least one thread. Readmit re-runs the Figure 5 step-1 throttle
+// against utilization measured freshly from the threads other queries hold
+// right now (blended, like the admission sample, with the completion EWMA
+// so a momentary trough reads as busy), then:
+//
+//   - shrinks the reservation when the chain needs less than is held,
+//     returning the surplus to the budget immediately (queued admissions
+//     are woken), or
+//   - grows it into free headroom when the chain wants more — never
+//     blocking: the grant is capped at held + free, because a mid-flight
+//     query that waited for threads while holding threads could deadlock
+//     against the admission line.
+//
+// The granted total (>= 1) is returned; the engine redistributes the
+// chain's node threads over it (core.Options.Readmit). When growth is
+// unavailable (planning window, or free headroom below min) the grant can
+// still land under min — the same nominal-ledger mismatch an admission
+// into a squeezed budget has, never an overcommit. Releases do not feed
+// the utilization EWMA — only Finish samples it, once per query. Calling
+// Readmit on a finished admission is a harmless no-op.
+func (m *Manager) Readmit(a *Admission, want, min int) int {
+	if min < 1 {
+		min = 1
+	}
+	if min > m.budget {
+		min = m.budget
+	}
+	if want < min {
+		want = min
+	}
+	if a == nil || a.m != m {
+		return want
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if a.finished {
+		return a.held
+	}
+	// Fresh utilization from the other queries' threads: the same throttle
+	// step 1 applied at admission, re-measured at the boundary.
+	others := m.allocated - a.held
+	if others < 0 {
+		others = 0
+	}
+	u := m.blendLocked(float64(others) / float64(m.budget))
+	grant := want
+	if u > 0 && u < 1 {
+		grant = int(math.Round(float64(want) * (1 - u)))
+	}
+	// The throttle never cuts below the chain's node count: a smaller
+	// grant could not be honored (every pool runs >= 1 thread) and would
+	// overstate the threads returned to the budget.
+	if grant < min {
+		grant = min
+	}
+	if grant > a.held {
+		// Growth takes free budget — but never while an admission is
+		// planning its allocation outside the lock: the pinned admitting
+		// ticket measured the headroom it will reserve from, and growing
+		// under it would overcommit the budget when it reserves. (A shrink
+		// during the window is always safe — it only adds headroom beyond
+		// what the ticket measured.) Declining growth keeps Readmit
+		// non-blocking; the chain simply runs with what it holds.
+		if m.admitting >= 0 {
+			grant = a.held
+		} else if free := m.budget - m.allocated; grant > a.held+free {
+			grant = a.held + free
+		}
+	}
+	switch {
+	case grant < a.held:
+		m.allocated -= a.held - grant
+		m.threadsReturned += int64(a.held - grant)
+		m.cond.Broadcast()
+	case grant > a.held:
+		m.allocated += grant - a.held
+		m.threadsGrown += int64(grant - a.held)
+		if m.allocated > m.peak {
+			m.peak = m.allocated
+		}
+	}
+	a.held = grant
+	a.trace = append(a.trace, grant)
+	m.readmissions++
+	return grant
 }
 
 // Close rejects all future submissions and wakes queued queries, which
@@ -383,8 +523,12 @@ func (m *Manager) Close() {
 
 // Reserve takes n threads out of the budget for work outside the manager
 // (or to simulate load in tests), waiting in the interactive line until they
-// are available. The returned release function returns them; it is
-// idempotent.
+// are available. A waiting Reserve counts against MaxQueued and is visible
+// in Stats.Queued/QueuedInteractive like any queued query — the queue bound
+// and the pressure /stats reports cover every consumer of the line, not
+// just Admit. The returned release function returns the threads; it is
+// idempotent. Releases do not feed the utilization EWMA — that signal
+// samples query completions only (Admission.Finish).
 func (m *Manager) Reserve(ctx context.Context, n int) (release func(), err error) {
 	if n < 0 {
 		n = 0
@@ -404,8 +548,16 @@ func (m *Manager) Reserve(ctx context.Context, n int) (release func(), err error
 		m.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if m.queued[PriorityInteractive]+m.queued[PriorityBatch] >= m.maxQueued {
+		m.rejected++
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	m.queued[PriorityInteractive]++
 	ticket := m.takeTicketLocked(PriorityInteractive, n)
-	if err := m.awaitTurnLocked(ctx, PriorityInteractive, ticket, n); err != nil {
+	err = m.awaitTurnLocked(ctx, PriorityInteractive, ticket, n)
+	m.queued[PriorityInteractive]--
+	if err != nil {
 		m.mu.Unlock()
 		return nil, err
 	}
@@ -425,37 +577,59 @@ func (m *Manager) Reserve(ctx context.Context, n int) (release func(), err error
 
 // Admission is one admitted query's reservation against the budget. The
 // caller owns the reserved threads until Finish returns them; Stats and
-// Alloc describe what the admission decided.
+// Alloc describe what the admission decided. Between chains of a
+// multi-chain query the reservation is renegotiable: Manager.Readmit
+// adjusts the held thread count at each materialization point.
 type Admission struct {
 	m     *Manager
-	ctx   context.Context
 	alloc core.Allocation
 	// Stats is the per-query feedback record (effective utilization fed to
-	// the scheduler, reserved threads, admission class).
+	// the scheduler, reserved threads, admission class). ChainThreads is
+	// filled in at Finish; reading Stats while the query still executes
+	// races with renegotiation.
 	Stats QueryStats
 
 	once sync.Once
+
+	// held is the thread count currently reserved (starts at alloc.Total,
+	// renegotiated by Readmit); trace records each renegotiated grant;
+	// finished blocks late Readmit calls. All guarded by m.mu.
+	held     int
+	finished bool
+	trace    []int
 }
 
 // Alloc is the thread allocation reserved for the query; pass it to
 // core.ExecuteAllocated together with the Options Admit adjusted.
 func (a *Admission) Alloc() core.Allocation { return a.alloc }
 
-// Finish returns the reservation to the budget and classifies the outcome
-// from err: nil = completed, the admission context's cancellation =
-// cancelled, anything else = failed. It is idempotent; later calls are
-// no-ops. Finish also feeds the completion into the manager's utilization
-// EWMA.
+// ChainTrace returns the per-chain thread grants renegotiated so far (one
+// entry per Manager.Readmit call, in chain order).
+func (a *Admission) ChainTrace() []int {
+	a.m.mu.Lock()
+	defer a.m.mu.Unlock()
+	return append([]int(nil), a.trace...)
+}
+
+// Finish returns the reservation — whatever Readmit has left of it — to the
+// budget and classifies the outcome from err itself: nil = completed, a
+// context cancellation or deadline = cancelled, anything else = failed. An
+// operator failure stays Failed even when the caller's context also died
+// (cancel-on-error), so the ledgers stay truthful. It is idempotent; later
+// calls are no-ops. Finish also feeds the completion into the manager's
+// utilization EWMA.
 func (a *Admission) Finish(err error) {
 	a.once.Do(func() {
 		m := a.m
 		m.mu.Lock()
-		m.allocated -= a.alloc.Total
+		a.finished = true
+		a.Stats.ChainThreads = append([]int(nil), a.trace...)
+		m.allocated -= a.held
 		m.active--
 		switch {
 		case err == nil:
 			m.completed++
-		case a.ctx.Err() != nil:
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			m.cancelled++
 		default:
 			m.failed++
@@ -546,12 +720,7 @@ func (m *Manager) Admit(ctx context.Context, plan *lera.Plan, db core.DB, opts *
 	// stays within budget.
 	available := m.budget - m.allocated
 	measured := float64(m.allocated) / float64(m.budget)
-	smoothed := measured
-	if m.ewmaSet {
-		if blended := ewmaBlend*measured + (1-ewmaBlend)*m.ewma; blended > smoothed {
-			smoothed = blended
-		}
-	}
+	smoothed := m.blendLocked(measured)
 	m.mu.Unlock()
 	if smoothed > opts.Utilization {
 		opts.Utilization = smoothed
@@ -559,7 +728,11 @@ func (m *Manager) Admit(ctx context.Context, plan *lera.Plan, db core.DB, opts *
 	if opts.Processors <= 0 || opts.Processors > available {
 		opts.Processors = available
 	}
-	alloc, planErr := core.PlanAllocation(plan, db, *opts)
+	// Processors is squeezed to the instantaneous headroom so the initial
+	// allocation fits; Machine keeps the whole budget in view so a
+	// chain-boundary renegotiation can grow into budget freed later.
+	opts.Machine = m.budget
+	alloc, planErr := planAllocation(plan, db, *opts)
 	m.mu.Lock()
 	m.queued[pri]--
 	if planErr != nil {
@@ -568,6 +741,21 @@ func (m *Manager) Admit(ctx context.Context, plan *lera.Plan, db core.DB, opts *
 		m.mu.Unlock()
 		return nil, planErr
 	}
+	// Allocation planning ran outside the lock: the query may have died —
+	// or the manager closed — meanwhile. Reserving anyway would launch an
+	// execution that instantly aborts while its threads sit out the abort
+	// in the budget; re-check before committing.
+	if m.closed {
+		m.leaveLocked(pri, ticket)
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		m.cancelled++
+		m.leaveLocked(pri, ticket)
+		m.mu.Unlock()
+		return nil, err
+	}
 	m.reserveLocked(pri, ticket, alloc.Total)
 	m.admitted++
 	m.active++
@@ -575,8 +763,8 @@ func (m *Manager) Admit(ctx context.Context, plan *lera.Plan, db core.DB, opts *
 
 	return &Admission{
 		m:     m,
-		ctx:   ctx,
 		alloc: alloc,
+		held:  alloc.Total,
 		Stats: QueryStats{
 			Utilization: opts.Utilization,
 			Measured:    measured,
@@ -590,12 +778,15 @@ func (m *Manager) Admit(ctx context.Context, plan *lera.Plan, db core.DB, opts *
 
 // Execute admits one query and runs it under the shared budget: Admit +
 // core.ExecuteAllocated + Finish in one call, for callers that do not stream
-// results. The query is queued as PriorityInteractive.
+// results. The query is queued as PriorityInteractive. Multi-chain queries
+// renegotiate their reservation at each materialization point (Readmit);
+// the per-chain grants come back in QueryStats.ChainThreads.
 func (m *Manager) Execute(ctx context.Context, plan *lera.Plan, db core.DB, opts core.Options) (*core.Result, QueryStats, error) {
 	adm, err := m.Admit(ctx, plan, db, &opts, PriorityInteractive)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
+	opts.Readmit = func(_, want, min int) int { return m.Readmit(adm, want, min) }
 	res, err := core.ExecuteAllocated(ctx, plan, db, opts, adm.Alloc())
 	adm.Finish(err)
 	return res, adm.Stats, err

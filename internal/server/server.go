@@ -130,6 +130,9 @@ func overlayOptions(base dbs3.Options, r *http.Request, wire *Options) dbs3.Opti
 	if wire.StreamBuffer != 0 {
 		opt.StreamBuffer = wire.StreamBuffer
 	}
+	if wire.Materialize {
+		opt.Materialize = true
+	}
 	return opt
 }
 
@@ -298,21 +301,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	open := len(s.stmts)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Budget:              s.manager.Budget(),
-		ActiveThreads:       st.ThreadsInFlight,
-		PeakThreads:         st.PeakThreads,
-		Active:              st.Active,
-		Queued:              st.Queued,
-		Admitted:            st.Admitted,
-		Completed:           st.Completed,
-		Failed:              st.Failed,
-		Cancelled:           st.Cancelled,
-		Rejected:            st.Rejected,
-		SmoothedUtilization: st.SmoothedUtilization,
-		PlanCacheHits:       hits,
-		PlanCacheMisses:     misses,
-		Statements:          open,
-		Relations:           s.db.Relations(),
+		Budget:                s.manager.Budget(),
+		ActiveThreads:         st.ThreadsInFlight,
+		PeakThreads:           st.PeakThreads,
+		Active:                st.Active,
+		Queued:                st.Queued,
+		Admitted:              st.Admitted,
+		Completed:             st.Completed,
+		Failed:                st.Failed,
+		Cancelled:             st.Cancelled,
+		Rejected:              st.Rejected,
+		Readmissions:          st.Readmissions,
+		ThreadsReturnedEarly:  st.ThreadsReturnedEarly,
+		ThreadsGrownMidFlight: st.ThreadsGrownMidFlight,
+		SmoothedUtilization:   st.SmoothedUtilization,
+		PlanCacheHits:         hits,
+		PlanCacheMisses:       misses,
+		Statements:            open,
+		Relations:             s.db.Relations(),
 	})
 }
 
@@ -387,7 +393,7 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, stmt *dbs3.Stmt,
 	if !emit() {
 		return
 	}
-	enc.Encode(Message{Done: &Footer{RowCount: count, Threads: rows.Threads(), Operators: rows.Operators()}})
+	enc.Encode(Message{Done: &Footer{RowCount: count, Threads: rows.Threads(), ChainThreads: rows.ChainThreads(), Operators: rows.Operators()}})
 	flush()
 }
 

@@ -425,3 +425,57 @@ func TestServeRequestValidation(t *testing.T) {
 		t.Errorf("healthz status %d", hresp.StatusCode)
 	}
 }
+
+// TestServeMaterializeReadmission: a materialize query over the wire splits
+// into two chains and renegotiates its thread reservation at the boundary —
+// the per-chain trace arrives in the stream footer and the readmission
+// counters appear in GET /stats.
+func TestServeMaterializeReadmission(t *testing.T) {
+	client, m := newTestServer(t, 5_000)
+	ctx := context.Background()
+
+	stream, err := client.Query(ctx, "SELECT ten, COUNT(*) FROM wisc GROUP BY ten", nil, &Options{Materialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	rows := 0
+	for stream.Next() {
+		rows++
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 10 {
+		t.Fatalf("got %d groups, want 10", rows)
+	}
+	footer := stream.Footer()
+	if footer == nil {
+		t.Fatal("no footer")
+	}
+	if len(footer.ChainThreads) != 2 {
+		t.Fatalf("footer ChainThreads = %v, want one grant per chain", footer.ChainThreads)
+	}
+	for ci, g := range footer.ChainThreads {
+		if g < 1 || g > testBudget {
+			t.Errorf("chain %d granted %d threads outside [1, budget]", ci, g)
+		}
+	}
+
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Readmissions <= 0 {
+		t.Errorf("/stats readmissions = %d, want > 0", st.Readmissions)
+	}
+	if st.Readmissions != m.Stats().Readmissions {
+		t.Errorf("/stats readmissions %d != manager %d", st.Readmissions, m.Stats().Readmissions)
+	}
+	if st.ActiveThreads != 0 || st.Active != 0 {
+		t.Errorf("threads leaked: %+v", st)
+	}
+	if st.PeakThreads > testBudget {
+		t.Errorf("peak %d exceeded budget", st.PeakThreads)
+	}
+}

@@ -54,6 +54,10 @@ type Options struct {
 	Priority string `json:"priority,omitempty"`
 	// StreamBuffer is the bounded row-sink capacity between engine and wire.
 	StreamBuffer int `json:"streamBuffer,omitempty"`
+	// Materialize splits the plan at a materialization point before
+	// aggregation/projection, letting the manager renegotiate the query's
+	// thread reservation between the two chains (see dbs3.Options).
+	Materialize bool `json:"materialize,omitempty"`
 }
 
 // QueryRequest is the body of POST /query and POST /prepare (args are
@@ -96,9 +100,13 @@ type Header struct {
 
 // Footer closes a successfully streamed result.
 type Footer struct {
-	RowCount  int64                `json:"rowCount"`
-	Threads   int                  `json:"threads"`
-	Operators []dbs3.OperatorStats `json:"operators,omitempty"`
+	RowCount int64 `json:"rowCount"`
+	Threads  int   `json:"threads"`
+	// ChainThreads is the per-chain renegotiated thread trace of a managed
+	// multi-chain query (one grant per chain, in order); absent for
+	// single-chain statements.
+	ChainThreads []int                `json:"chainThreads,omitempty"`
+	Operators    []dbs3.OperatorStats `json:"operators,omitempty"`
 }
 
 // Message is one NDJSON line of a streamed result: exactly one field is set.
@@ -125,6 +133,12 @@ type StatsResponse struct {
 	Failed    int64 `json:"failed"`
 	Cancelled int64 `json:"cancelled"`
 	Rejected  int64 `json:"rejected"`
+	// Mid-flight adaptivity counters: chain-boundary renegotiations, the
+	// threads they returned to the budget before query completion, and the
+	// threads they grew into freed budget.
+	Readmissions          int64 `json:"readmissions"`
+	ThreadsReturnedEarly  int64 `json:"threadsReturnedEarly"`
+	ThreadsGrownMidFlight int64 `json:"threadsGrownMidFlight"`
 	// SmoothedUtilization is the admission feedback EWMA.
 	SmoothedUtilization float64 `json:"smoothedUtilization"`
 	// Plan-cache amortization counters.

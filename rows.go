@@ -50,8 +50,9 @@ type Rows struct {
 	once      sync.Once
 
 	// Written by the execution goroutine before close(done).
-	execErr   error
-	operators []OperatorStats
+	execErr      error
+	operators    []OperatorStats
+	chainThreads []int
 }
 
 // Columns names the result columns, known from the prepared plan before the
@@ -184,6 +185,20 @@ func (r *Rows) Operators() []OperatorStats {
 	}
 }
 
+// ChainThreads is the per-chain thread trace of a managed multi-chain query:
+// the totals granted at each materialization-point renegotiation, in chain
+// order (see Options.Materialize). Empty for single-chain statements,
+// explicit-thread executions and unmanaged databases; available once the
+// execution settled.
+func (r *Rows) ChainThreads() []int {
+	select {
+	case <-r.done:
+		return append([]int(nil), r.chainThreads...)
+	default:
+		return nil
+	}
+}
+
 // All drains the remaining rows into a materialized Result — the pre-cursor
 // shape of a query answer — and closes the cursor. Rows already consumed via
 // Next are not included. Calling All on a cursor that was closed before
@@ -201,6 +216,7 @@ func (r *Rows) All() (*Result, error) {
 		return nil, err
 	}
 	res.Operators = r.Operators()
+	res.ChainThreads = r.ChainThreads()
 	return res, nil
 }
 
@@ -219,14 +235,21 @@ type Result struct {
 	Utilization float64
 	// Operators reports per-operator scheduling statistics.
 	Operators []OperatorStats
+	// ChainThreads is the per-chain renegotiated thread trace of a managed
+	// multi-chain query (see Rows.ChainThreads).
+	ChainThreads []int
 }
 
-// FormatStats renders the row-count/thread line and per-operator scheduling
+// FormatStats renders the row-count/thread line, the per-chain renegotiated
+// thread trace of a multi-chain query, and the per-operator scheduling
 // counters that footer a query answer — shared by Result.String and
 // streaming printers (cmd/dbs3) that count rows as they drain a cursor.
-func FormatStats(rowCount, threads int, ops []OperatorStats) string {
+func FormatStats(rowCount, threads int, chainThreads []int, ops []OperatorStats) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "(%d rows, %d threads)\n", rowCount, threads)
+	if len(chainThreads) > 1 {
+		fmt.Fprintf(&b, "  chain threads (readmitted at each boundary): %v\n", chainThreads)
+	}
 	for _, op := range ops {
 		fmt.Fprintf(&b, "  %-12s threads=%-3d strategy=%-6s instances=%-5d activations=%-8d emitted=%-8d secondary=%d\n",
 			op.Name, op.Threads, op.Strategy, op.Instances, op.Activations, op.Emitted, op.SecondaryPicks)

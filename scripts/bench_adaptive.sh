@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench_adaptive.sh — run the concurrent-runtime throughput benchmarks
+# (managed vs unmanaged, plus the multi-chain adaptive bench) and emit the
+# results as BENCH_adaptive.json so CI archives the perf trajectory.
+#
+# Usage: ./scripts/bench_adaptive.sh [benchtime] [out.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-5x}"
+OUT="${2:-BENCH_adaptive.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' \
+  -bench 'ManagedThroughput|UnmanagedThroughput|ManagedAdaptiveMultiChain' \
+  -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
+
+# Fold the benchmark lines into JSON:
+#   BenchmarkFoo-8  5  123 ns/op  2.0 readmissions/query ...
+# -> {"name":"BenchmarkFoo-8","iterations":5,"metrics":{"ns/op":123,...}}
+awk '
+  BEGIN { print "{"; printf "  \"benchmarks\": [" ; n = 0 }
+  /^Benchmark/ {
+    if (n++) printf ","
+    printf "\n    {\"name\":\"%s\",\"iterations\":%s,\"metrics\":{", $1, $2
+    first = 1
+    for (i = 3; i < NF; i += 2) {
+      if (!first) printf ","
+      first = 0
+      printf "\"%s\":%s", $(i+1), $i
+    }
+    printf "}}"
+  }
+  END {
+    print "\n  ],"
+    cmd = "date -u +%Y-%m-%dT%H:%M:%SZ"; cmd | getline ts; close(cmd)
+    printf "  \"generated\": \"%s\",\n", ts
+    printf "  \"benchtime\": \"%s\"\n", benchtime
+    print "}"
+  }
+' benchtime="$BENCHTIME" "$RAW" > "$OUT"
+
+# Sanity: the artifact must parse and actually contain benchmarks.
+grep -q '"name":"Benchmark' "$OUT" || { echo "bench_adaptive: no benchmark results captured" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json; d = json.load(open('$OUT')); assert d['benchmarks']"
+fi
+echo "wrote $OUT"

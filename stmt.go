@@ -166,7 +166,8 @@ func (db *Database) prepare(sql string, opt *Options) (*preparedPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("%s\x00%d", sql, algo)
+	materialize := opt != nil && opt.Materialize
+	key := fmt.Sprintf("%s\x00%d\x00%t", sql, algo, materialize)
 	epoch := db.epoch.Load()
 	prep, hit := db.cache.get(key, epoch)
 	if m := db.currentManager(); m != nil {
@@ -175,7 +176,7 @@ func (db *Database) prepare(sql string, opt *Options) (*preparedPlan, error) {
 	if hit {
 		return prep, nil
 	}
-	c := &esql.Compiler{Resolver: db.snapshotResolver(), JoinAlgo: algo}
+	c := &esql.Compiler{Resolver: db.snapshotResolver(), JoinAlgo: algo, Materialize: materialize}
 	plan, g, err := c.Compile(sql)
 	if err != nil {
 		return nil, err
@@ -339,6 +340,10 @@ func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 			cancel()
 			return nil, err
 		}
+		// Mid-flight re-admission: at each chain boundary of a multi-chain
+		// plan the engine renegotiates the reservation — surplus threads
+		// return to the shared budget between chains instead of at Finish.
+		copts.Readmit = func(_, want, min int) int { return manager.Readmit(adm, want, min) }
 		alloc = adm.Alloc()
 		utilization = adm.Stats.Utilization
 	} else {
@@ -365,6 +370,7 @@ func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 			// Threads are back in the budget before the cursor observes the
 			// end of the stream — Close-mid-result frees them immediately.
 			adm.Finish(execErr)
+			r.chainThreads = adm.ChainTrace()
 		}
 		r.execErr = execErr
 		if execErr == nil && res != nil {
