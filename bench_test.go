@@ -304,6 +304,70 @@ func BenchmarkAblationQueueAffinity(b *testing.B) {
 	b.ReportMetric(float64(picks), "secondary_picks")
 }
 
+// --- Batch-at-a-time hot-path benches (BENCH_core.json) ---------------------
+
+// The CoreHotPath pair measures the batch-at-a-time data plane against the
+// per-tuple protocol (BatchGrain 1) on the same plan: same operators, same
+// allocation, only the queue transport differs. scripts/bench_core.sh runs
+// them with -benchmem, archives BENCH_core.json, and gates CI on the
+// batched pipeline's allocs/op against the committed baseline.
+
+func coreHotPathPipelinedJoin(b *testing.B, grain int) {
+	b.Helper()
+	// Probe-stream heavy shape: a small build side and a 40k-tuple
+	// redistributed probe stream keep the queue protocol — the thing the
+	// two variants differ in — the dominant cost. Degree 8 keeps the
+	// per-destination route buffers actually filling to the grain (at high
+	// degrees the stream spreads so thin that most flushes are partial).
+	db, err := workload.NewJoinDB(2_000, 40_000, 8, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := db.AssocJoinPlan(lera.HashJoin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rels := db.Relations()
+	opts := core.Options{Threads: 4, BatchGrain: grain}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Execute(plan, rels, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Outputs["Res"].Cardinality() != db.ExpectedJoinCount() {
+			b.Fatal("wrong result")
+		}
+	}
+}
+
+func BenchmarkCoreHotPathPipelinedJoinBatched(b *testing.B) { coreHotPathPipelinedJoin(b, 0) }
+func BenchmarkCoreHotPathPipelinedJoinGrain1(b *testing.B)  { coreHotPathPipelinedJoin(b, 1) }
+
+func coreHotPathAggregate(b *testing.B, grain int) {
+	b.Helper()
+	db := dbs3.New()
+	if err := db.CreateWisconsin("wisc", 50_000, 16, "unique2", 42); err != nil {
+		b.Fatal(err)
+	}
+	opt := &dbs3.Options{Threads: 4, BatchGrain: grain}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.QueryAll("SELECT ten, SUM(unique1) FROM wisc GROUP BY ten", opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Data) != 10 {
+			b.Fatalf("wrong result: %d groups", len(res.Data))
+		}
+	}
+}
+
+func BenchmarkCoreHotPathAggregateBatched(b *testing.B) { coreHotPathAggregate(b, 0) }
+func BenchmarkCoreHotPathAggregateGrain1(b *testing.B)  { coreHotPathAggregate(b, 1) }
+
 // --- Concurrent runtime benches --------------------------------------------
 
 func concurrentDB(b *testing.B) *dbs3.Database {

@@ -73,6 +73,7 @@ func main() {
 		joinAlgo    = flag.String("join", "hash", "join algorithm: hash, nested-loop, temp-index")
 		priority    = flag.String("priority", "interactive", "admission class under the manager: interactive, batch")
 		materialize = flag.Bool("materialize", false, "insert a materialization point before aggregation/projection (two chains; the manager renegotiates threads at the boundary)")
+		batchGrain  = flag.Int("batchgrain", 0, "tuples per queue push on the pipelined data plane (0 = engine default, 1 = per-tuple pushes)")
 		explain     = flag.Bool("explain", false, "print the parallel plan (DOT) instead of executing")
 		limit       = flag.Int("limit", 20, "maximum rows to print (the rest are drained and counted, not shown)")
 		wisc        = flag.Int("wisc", 10_000, "wisconsin relation cardinality")
@@ -106,7 +107,7 @@ func main() {
 		fatal(err)
 	}
 
-	opt := &dbs3.Options{Threads: *threads, Strategy: *strategy, JoinAlgo: *joinAlgo, Priority: *priority, Materialize: *materialize}
+	opt := &dbs3.Options{Threads: *threads, Strategy: *strategy, JoinAlgo: *joinAlgo, Priority: *priority, Materialize: *materialize, BatchGrain: *batchGrain}
 	if *explain {
 		if *concurrency > 1 {
 			fatal(fmt.Errorf("-explain and -concurrency are mutually exclusive"))

@@ -28,6 +28,7 @@ func serveMain(args []string) {
 		budget   = fs.Int("budget", 0, "manager thread budget shared by all clients (0 = GOMAXPROCS)")
 		queue    = fs.Int("queue", 0, "admission queue depth; beyond it queries are shed with 503 (0 = 4x budget)")
 		priority = fs.String("priority", "interactive", "default admission class for requests that set none: interactive, batch")
+		stmtTTL  = fs.Duration("stmt-ttl", 0, "idle lifetime of server-side prepared statements (0 = 15m, negative = never expire)")
 		demo     = fs.Bool("demo", true, "generate the demo relations (wisc, A, B, Br)")
 		wisc     = fs.Int("wisc", 10_000, "wisconsin relation cardinality (with -demo)")
 		aCard    = fs.Int("acard", 10_000, "join relation A cardinality (with -demo)")
@@ -74,6 +75,7 @@ func serveMain(args []string) {
 	m := db.Manager(dbs3.ManagerConfig{Budget: *budget, MaxQueued: *queue})
 	handler := server.New(db, m, server.Config{
 		DefaultOptions: dbs3.Options{Priority: *priority},
+		StmtTTL:        *stmtTTL,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

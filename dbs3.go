@@ -334,6 +334,17 @@ type Options struct {
 	// memory tighter and apply backpressure sooner; larger values decouple
 	// producer and consumer more.
 	StreamBuffer int
+	// BatchGrain is the producer-side batch size of the engine's pipelined
+	// data plane: pool threads deliver emitted tuples to downstream
+	// activation queues in lumps of this many (one lock acquire and one
+	// consumer wake per lump) instead of one queue operation per tuple.
+	// 0 = the engine default (core.DefaultBatchGrain); 1 disables batching,
+	// restoring the per-tuple protocol. Batching changes only the transport:
+	// every tuple still arrives as its own activation, so per-operator
+	// activation counts, consumption strategies and the paper's skew
+	// overhead formula are unaffected (see DESIGN.md, "Batch grain vs
+	// activation grain").
+	BatchGrain int
 }
 
 func (o *Options) strategy() (core.StrategyKind, error) {

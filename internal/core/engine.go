@@ -30,6 +30,16 @@ type Options struct {
 	Strategy StrategyKind
 	// CacheSize is the internal activation cache (batch) size; default 16.
 	CacheSize int
+	// BatchGrain is the producer-side batch size of the pipelined data
+	// plane: each pool thread buffers emitted tuples per destination queue
+	// and delivers them with a single lock acquire and consumer wake
+	// (Queue.PushBatch) once this many accumulate — or sooner, at every
+	// trigger boundary, activation-batch boundary and instance close.
+	// 1 disables batching (one push per tuple, the paper's protocol);
+	// 0 = DefaultBatchGrain. The grain changes only how tuples travel:
+	// each still arrives as its own activation, so activation counts,
+	// consumption strategies and the skew formula's a are untouched.
+	BatchGrain int
 	// QueueCap is each activation queue's capacity; default 256.
 	QueueCap int
 	// Seed makes the Random strategy deterministic; default 1.
@@ -94,6 +104,12 @@ type RowSink interface {
 	Push(t relation.Tuple) error
 }
 
+// DefaultBatchGrain is the producer-side route-buffer size used when
+// Options.BatchGrain is zero: large enough to amortize the queue mutex and
+// wake across a meaningful run of tuples, small enough that a buffered tuple
+// never waits behind more than a cache line or two of peers.
+const DefaultBatchGrain = 64
+
 func (o Options) withDefaults() Options {
 	if o.Processors <= 0 {
 		o.Processors = runtime.GOMAXPROCS(0)
@@ -103,6 +119,19 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueCap <= 0 {
 		o.QueueCap = 256
+	}
+	if o.BatchGrain == 0 {
+		o.BatchGrain = DefaultBatchGrain
+	}
+	if o.BatchGrain < 1 {
+		o.BatchGrain = 1
+	}
+	// A route buffer deeper than the destination queue amortizes nothing
+	// (PushBatch splits at queue capacity anyway), and the grain is also a
+	// per-destination buffer *capacity* reachable from untrusted wire
+	// options — so clamp it instead of trusting it.
+	if o.BatchGrain > o.QueueCap {
+		o.BatchGrain = o.QueueCap
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -441,14 +470,14 @@ func runChain(ctx context.Context, plan *lera.Plan, chain []int, db DB, alloc Al
 	}
 	mu.Unlock()
 
-	// Wire emission routing and producer-completion countdowns.
-	type target struct {
-		op    *Operation
-		route func(inst int, t relation.Tuple) int
-	}
+	// Wire emission routing and producer-completion countdowns. Routing is
+	// declarative — a target list per producer — so each pool thread can put
+	// a private route buffer between Emit and the destination queues
+	// (routeEmitter): tuples travel in PushBatch lumps of opts.BatchGrain
+	// while every counter downstream still sees individual activations.
 	var wireMu sync.Mutex
 	producers := make(map[int]int, len(chain)) // consumer id -> unfinished producer count
-	targetsOf := make(map[int][]target, len(chain))
+	targetsOf := make(map[int][]routeTarget, len(chain))
 	for ei, be := range plan.Edges {
 		e := plan.Graph.Edges[ei]
 		if !inChain[e.From] {
@@ -464,7 +493,7 @@ func runChain(ctx context.Context, plan *lera.Plan, chain []int, db DB, alloc Al
 			cols := be.RouteColsIdx
 			if router := plan.Nodes[e.To].Router; router != nil {
 				route = func(_ int, t relation.Tuple) int {
-					return router.FragmentOfKey(t.Project(cols))
+					return router.FragmentOfCols(t, cols)
 				}
 			} else {
 				degree := uint64(consumer.Degree())
@@ -473,17 +502,12 @@ func runChain(ctx context.Context, plan *lera.Plan, chain []int, db DB, alloc Al
 				}
 			}
 		}
-		targetsOf[e.From] = append(targetsOf[e.From], target{op: consumer, route: route})
+		targetsOf[e.From] = append(targetsOf[e.From], routeTarget{op: consumer, route: route})
 	}
 	for _, id := range chain {
-		id := id
-		tgts := targetsOf[id]
 		op := ops[id]
-		op.emit = func(inst int, t relation.Tuple) {
-			for _, tg := range tgts {
-				tg.op.Queues[tg.route(inst, t)].Push(Activation{Tuple: t})
-			}
-		}
+		op.targets = targetsOf[id]
+		op.batchGrain = opts.BatchGrain
 		outs := plan.Graph.Out(id)
 		op.onComplete = func() {
 			wireMu.Lock()

@@ -62,8 +62,85 @@ func (s *OpStats) BalanceRatio() float64 {
 	return float64(max) / mean
 }
 
-// emitFunc routes one emitted tuple; built by the engine per operation.
+// emitFunc routes one emitted tuple; a test seam — the engine wires routing
+// through targets and per-worker route buffers instead (see routeEmitter).
 type emitFunc func(inst int, t relation.Tuple)
+
+// routeTarget is one downstream consumer of an operation's output: the
+// consuming operation plus the routing function that maps an emitted tuple
+// (and the emitting instance) to a destination queue index.
+type routeTarget struct {
+	op    *Operation
+	route func(inst int, t relation.Tuple) int
+}
+
+// emitter is the per-worker emission path. emit hands one produced tuple to
+// the routing layer; flush forces any buffered tuples into their destination
+// queues. Workers flush after every processed activation batch and after
+// instance closes, so buffered tuples are always downstream before an
+// operation can report completion (and close its consumers' queues).
+type emitter interface {
+	emit(inst int, t relation.Tuple)
+	flush()
+}
+
+// funcEmitter adapts the emitFunc test seam: unbuffered, flush is a no-op.
+type funcEmitter emitFunc
+
+func (f funcEmitter) emit(inst int, t relation.Tuple) { f(inst, t) }
+func (funcEmitter) flush()                            {}
+
+// routeEmitter is one worker's batch-at-a-time routing state: a small buffer
+// per destination queue, flushed into the queue with a single PushBatch (one
+// lock, one wake) when it reaches the batch grain — and by flush at the
+// activation-batch boundaries above. Buffers are worker-private, so emission
+// needs no extra synchronization; they are allocated lazily (first tuple to a
+// destination) and reused across flushes.
+type routeEmitter struct {
+	targets []routeTarget
+	grain   int
+	bufs    [][][]Activation // [target][destination queue] -> pending tuples
+}
+
+func newRouteEmitter(targets []routeTarget, grain int) *routeEmitter {
+	if grain < 1 {
+		grain = 1
+	}
+	e := &routeEmitter{targets: targets, grain: grain, bufs: make([][][]Activation, len(targets))}
+	for i, tg := range targets {
+		e.bufs[i] = make([][]Activation, len(tg.op.Queues))
+	}
+	return e
+}
+
+func (e *routeEmitter) emit(inst int, t relation.Tuple) {
+	for ti := range e.targets {
+		tg := &e.targets[ti]
+		dst := tg.route(inst, t)
+		buf := e.bufs[ti][dst]
+		if buf == nil {
+			buf = make([]Activation, 0, e.grain)
+		}
+		buf = append(buf, Activation{Tuple: t})
+		if len(buf) >= e.grain {
+			tg.op.Queues[dst].PushBatch(buf)
+			buf = buf[:0]
+		}
+		e.bufs[ti][dst] = buf
+	}
+}
+
+func (e *routeEmitter) flush() {
+	for ti := range e.targets {
+		qs := e.targets[ti].op.Queues
+		for dst, buf := range e.bufs[ti] {
+			if len(buf) > 0 {
+				qs[dst].PushBatch(buf)
+				e.bufs[ti][dst] = buf[:0]
+			}
+		}
+	}
+}
 
 // Operation is the runtime form of one Lera-par node: QueueNb activation
 // queues (one per instance), a pool of ThreadNb worker goroutines that all
@@ -80,10 +157,17 @@ type Operation struct {
 	op        operator.Operator
 	ctxs      []*operator.Context
 	setups    []sync.Once
-	emit      emitFunc
+	emit      emitFunc // test seam; production routing uses targets
 	seed      int64
 	stats     *OpStats
 	triggered bool
+
+	// targets and batchGrain configure the batch-at-a-time routing layer:
+	// each worker buffers emitted tuples per destination queue and delivers
+	// them with one PushBatch per batchGrain tuples. Set by the engine
+	// (runChain) before the pools start.
+	targets    []routeTarget
+	batchGrain int
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -177,9 +261,10 @@ func (o *Operation) worker(w int) {
 	}
 	strat := newStrategy(o.Strat, o.seed+int64(w))
 	cache := make([]Activation, 0, o.CacheSize)
+	em := o.newEmitter()
 
 	for {
-		batch, qi, ok := o.acquire(strat, main, mainIdx, cache)
+		batch, qi, ok := o.acquire(strat, main, mainIdx, cache, em)
 		if !ok {
 			return
 		}
@@ -187,16 +272,30 @@ func (o *Operation) worker(w int) {
 			continue
 		}
 		o.stats.perWorker[w].Add(int64(len(batch)))
-		o.process(qi, batch)
-		o.finishBatch(qi, len(batch))
+		o.process(qi, batch, em)
+		// Flush at the batch boundary: every trigger boundary and pipelined
+		// activation batch delivers its buffered output before the batch is
+		// retired — an operation can never complete (and close its consumers'
+		// queues) with tuples still parked in a route buffer.
+		em.flush()
+		o.finishBatch(qi, len(batch), em)
 		cache = batch[:0]
 	}
+}
+
+// newEmitter builds this worker's emission path: the engine-wired route
+// buffers, or the unbuffered test seam when emit is set directly.
+func (o *Operation) newEmitter() emitter {
+	if o.emit != nil {
+		return funcEmitter(o.emit)
+	}
+	return newRouteEmitter(o.targets, o.batchGrain)
 }
 
 // acquire picks a queue and drains a batch into cache. ok=false means the
 // operation is fully drained and the worker should exit (after the instance
 // close sweep).
-func (o *Operation) acquire(strat strategy, main []*Queue, mainIdx []int, cache []Activation) ([]Activation, int, bool) {
+func (o *Operation) acquire(strat strategy, main []*Queue, mainIdx []int, cache []Activation, em emitter) ([]Activation, int, bool) {
 	o.mu.Lock()
 	for {
 		if o.aborted {
@@ -225,7 +324,7 @@ func (o *Operation) acquire(strat strategy, main []*Queue, mainIdx []int, cache 
 		if o.allDrainedLocked() {
 			sweep := o.claimClosesLocked()
 			o.mu.Unlock()
-			o.runCloses(sweep)
+			o.runCloses(sweep, em)
 			return nil, -1, false
 		}
 		o.cond.Wait()
@@ -257,7 +356,7 @@ func (o *Operation) claimClosesLocked() []int {
 
 // process runs the operator on a batch. Panics inside operators are engine
 // bugs and propagate; data errors are recorded and stop further emission.
-func (o *Operation) process(qi int, batch []Activation) {
+func (o *Operation) process(qi int, batch []Activation, em emitter) {
 	ctx := o.ctxs[qi]
 	o.setups[qi].Do(func() {
 		o.stats.Setups.Add(1)
@@ -267,7 +366,7 @@ func (o *Operation) process(qi int, batch []Activation) {
 	})
 	emit := func(t relation.Tuple) {
 		o.stats.Emitted.Add(1)
-		o.emit(qi, t)
+		em.emit(qi, t)
 	}
 	for _, a := range batch {
 		if o.abortFlag.Load() {
@@ -309,6 +408,7 @@ func chunkView(ctx *operator.Context, lo, hi int) *operator.Context {
 // (the paper's model); grain g > 0 splits each instance's triggered operand
 // into ceil(span/g) partial triggers of at most g tuples (§6 future work).
 func (o *Operation) InjectTriggers(grain int) {
+	var batch []Activation // reused across queues; PushBatch copies
 	for i, q := range o.Queues {
 		span := len(o.ctxs[i].Input)
 		if span == 0 {
@@ -317,13 +417,15 @@ func (o *Operation) InjectTriggers(grain int) {
 		if grain <= 0 || span == 0 {
 			q.Push(Activation{})
 		} else {
+			batch = batch[:0]
 			for lo := 0; lo < span; lo += grain {
 				hi := lo + grain
 				if hi > span {
 					hi = span
 				}
-				q.Push(Activation{Lo: lo, Hi: hi})
+				batch = append(batch, Activation{Lo: lo, Hi: hi})
 			}
+			q.PushBatch(batch)
 		}
 		q.Close()
 	}
@@ -331,7 +433,7 @@ func (o *Operation) InjectTriggers(grain int) {
 
 // finishBatch retires in-flight activations and runs the instance close when
 // the instance drained.
-func (o *Operation) finishBatch(qi, n int) {
+func (o *Operation) finishBatch(qi, n int, em emitter) {
 	o.mu.Lock()
 	o.inflight[qi] -= n
 	var toClose []int
@@ -340,12 +442,14 @@ func (o *Operation) finishBatch(qi, n int) {
 		toClose = append(toClose, qi)
 	}
 	o.mu.Unlock()
-	o.runCloses(toClose)
+	o.runCloses(toClose, em)
 }
 
 // runCloses executes OnClose for the claimed instances and fires the
-// operation-complete callback after the last one.
-func (o *Operation) runCloses(instances []int) {
+// operation-complete callback after the last one. OnClose output (buffered
+// aggregate state) is flushed downstream before the completion accounting, so
+// the callback — which closes consumer queues — never races a pending buffer.
+func (o *Operation) runCloses(instances []int, em emitter) {
 	for _, qi := range instances {
 		ctx := o.ctxs[qi]
 		o.setups[qi].Do(func() {
@@ -356,7 +460,7 @@ func (o *Operation) runCloses(instances []int) {
 		})
 		emit := func(t relation.Tuple) {
 			o.stats.Emitted.Add(1)
-			o.emit(qi, t)
+			em.emit(qi, t)
 		}
 		if err := o.op.OnClose(ctx, emit); err != nil {
 			o.fail(err)
@@ -365,6 +469,7 @@ func (o *Operation) runCloses(instances []int) {
 	if len(instances) == 0 {
 		return
 	}
+	em.flush()
 	o.mu.Lock()
 	o.doneCount += len(instances)
 	complete := o.doneCount == len(o.Queues) && !o.completed

@@ -8,6 +8,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"dbs3/internal/relation"
 )
@@ -48,6 +49,11 @@ type Queue struct {
 	buf   []Activation
 	head  int
 	count int
+	// length mirrors count for lock-free readers: the consumption
+	// strategies scan every queue of an operation on each pick, so reading
+	// the length must not take the queue mutex (it is a heuristic — a
+	// slightly stale value only affects which queue a worker tries first).
+	length atomic.Int64
 
 	closed bool
 	// aborted marks the execution as cancelled: Push stops blocking and
@@ -56,9 +62,11 @@ type Queue struct {
 	aborted bool
 
 	// est is the static LPT estimate of the queue's total work (triggered
-	// queues: derived from fragment sizes at plan build time).
+	// queues: derived from fragment sizes at plan build time). Written only
+	// before the pools start (SetEstimate), read lock-free by lptScore.
 	est float64
-	// perTupleCost weighs dynamic LPT estimates of pipelined queues.
+	// perTupleCost weighs dynamic LPT estimates of pipelined queues; same
+	// write-before-run contract as est.
 	perTupleCost float64
 
 	// onPush wakes the consuming operation's workers; set by the operation.
@@ -75,18 +83,16 @@ func NewQueue(capacity int) *Queue {
 	return q
 }
 
-// SetEstimate sets the static LPT cost estimate (triggered queues).
+// SetEstimate sets the static LPT cost estimate (triggered queues). Call
+// before the operation's pool starts; lptScore reads it without the lock.
 func (q *Queue) SetEstimate(est float64) {
-	q.mu.Lock()
 	q.est = est
-	q.mu.Unlock()
 }
 
-// SetPerTupleCost sets the dynamic LPT weight (pipelined queues).
+// SetPerTupleCost sets the dynamic LPT weight (pipelined queues). Call
+// before the operation's pool starts; lptScore reads it without the lock.
 func (q *Queue) SetPerTupleCost(c float64) {
-	q.mu.Lock()
 	q.perTupleCost = c
-	q.mu.Unlock()
 }
 
 // Push appends an activation, blocking while the queue is full. Pushing to a
@@ -107,10 +113,54 @@ func (q *Queue) Push(a Activation) {
 	}
 	q.buf[(q.head+q.count)%len(q.buf)] = a
 	q.count++
+	q.length.Store(int64(q.count))
 	notify := q.onPush
 	q.mu.Unlock()
 	if notify != nil {
 		notify()
+	}
+}
+
+// PushBatch appends a batch of activations under one lock acquire and one
+// consumer wake — the producer half of the batch-at-a-time data plane. The
+// per-tuple protocol of Push (blocking backpressure when the queue is full,
+// silent dropping after Abort, panic on a closed queue) is preserved: when
+// the batch does not fit, PushBatch fills the queue, wakes consumers for the
+// part already delivered, and blocks until space frees for the rest. The
+// queue stores the individual activations, so consumers — and every counter
+// and LPT estimate derived from queue contents — still see tuples, never
+// batches.
+//
+// The caller keeps ownership of as: activations are copied into the ring
+// buffer, so the slice may be reused as soon as PushBatch returns.
+func (q *Queue) PushBatch(as []Activation) {
+	i := 0
+	for i < len(as) {
+		q.mu.Lock()
+		for q.count == len(q.buf) && !q.closed && !q.aborted {
+			q.notFull.Wait()
+		}
+		if q.aborted {
+			q.mu.Unlock()
+			return
+		}
+		if q.closed {
+			q.mu.Unlock()
+			panic("core: push to closed queue")
+		}
+		for i < len(as) && q.count < len(q.buf) {
+			q.buf[(q.head+q.count)%len(q.buf)] = as[i]
+			q.count++
+			i++
+		}
+		q.length.Store(int64(q.count))
+		notify := q.onPush
+		q.mu.Unlock()
+		// Wake consumers before (possibly) blocking for the remainder: a
+		// full queue only drains if its consumers know there is work.
+		if notify != nil {
+			notify()
+		}
 	}
 }
 
@@ -128,17 +178,18 @@ func (q *Queue) popBatch(max int, dst []Activation) []Activation {
 	}
 	q.count -= n
 	if n > 0 {
+		q.length.Store(int64(q.count))
 		q.notFull.Broadcast()
 	}
 	q.mu.Unlock()
 	return dst
 }
 
-// Len returns the number of queued activations.
+// Len returns the number of queued activations. It is lock-free (and so at
+// worst momentarily stale) because the consumption strategies call it for
+// every queue of an operation on every pick.
 func (q *Queue) Len() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.count
+	return int(q.length.Load())
 }
 
 // Close marks the queue as receiving no further activations. Blocked
@@ -178,15 +229,15 @@ func (q *Queue) Drained() bool {
 
 // lptScore is the LPT priority: remaining estimated work. For triggered
 // queues the static estimate dominates; for pipelined queues the score is
-// queue length times the per-tuple cost.
+// queue length times the per-tuple cost. Lock-free like Len, for the same
+// reason.
 func (q *Queue) lptScore() float64 {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.count == 0 {
+	n := q.length.Load()
+	if n == 0 {
 		return 0
 	}
 	if q.est > 0 {
 		return q.est
 	}
-	return float64(q.count) * q.perTupleCost
+	return float64(n) * q.perTupleCost
 }

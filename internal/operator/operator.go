@@ -192,18 +192,22 @@ func (s *Sink) OnTuple(_ *Context, t relation.Tuple, _ Emit) error {
 	return s.Push(t)
 }
 
-// keyOf renders the projected key columns as a canonical map key.
-func keyOf(t relation.Tuple, cols []int) string {
-	return t.Project(cols).Key()
-}
+// Join and group-by keys are 64-bit hashes computed directly over the key
+// columns (relation.Tuple.HashOn): no projected tuple, no canonical string —
+// nothing is materialized or allocated per probed/grouped tuple. Distinct
+// keys can collide on the hash, so every hash-equal candidate is verified
+// against the actual key columns (joinKeysEqual / groupMatches) before it
+// joins or accumulates.
 
 // buildIndex is the per-instance state of hash and temp-index joins.
 type buildIndex struct {
-	// hash groups build tuples by join key (HashJoin).
-	hash map[string][]relation.Tuple
-	// sorted holds build tuples ordered by key with a parallel key slice
-	// for binary search (TempIndex — DBS3 "builds indexes on the fly").
-	sortedKeys []string
+	// hash groups build tuples by join-key hash (HashJoin); the probe
+	// verifies each bucket entry against the real key columns.
+	hash map[uint64][]relation.Tuple
+	// sorted holds build tuples ordered by key hash with a parallel hash
+	// slice for binary search (TempIndex — DBS3 "builds indexes on the
+	// fly"); probes verify the hash-equal run against the key columns.
+	sortedKeys []uint64
 	sorted     []relation.Tuple
 }
 
@@ -223,22 +227,31 @@ func (j *Join) Setup(ctx *Context) error {
 	case lera.NestedLoop:
 		// No auxiliary structure: probing scans the fragment.
 	case lera.HashJoin:
-		idx := &buildIndex{hash: make(map[string][]relation.Tuple, len(ctx.Build))}
+		idx := &buildIndex{hash: make(map[uint64][]relation.Tuple, len(ctx.Build))}
 		for _, b := range ctx.Build {
-			k := keyOf(b, j.BuildKey)
+			k := b.HashOn(j.BuildKey)
 			idx.hash[k] = append(idx.hash[k], b)
 		}
 		ctx.State = idx
 	case lera.TempIndex:
-		idx := &buildIndex{
-			sortedKeys: make([]string, len(ctx.Build)),
-			sorted:     append([]relation.Tuple(nil), ctx.Build...),
+		// Each build key is hashed exactly once, then tuples are reordered
+		// by the precomputed keys — never O(n log n) key computations
+		// inside the sort comparator.
+		n := len(ctx.Build)
+		keys := make([]uint64, n)
+		order := make([]int, n)
+		for i, b := range ctx.Build {
+			keys[i] = b.HashOn(j.BuildKey)
+			order[i] = i
 		}
-		sort.Slice(idx.sorted, func(a, b int) bool {
-			return keyOf(idx.sorted[a], j.BuildKey) < keyOf(idx.sorted[b], j.BuildKey)
-		})
-		for i, b := range idx.sorted {
-			idx.sortedKeys[i] = keyOf(b, j.BuildKey)
+		sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+		idx := &buildIndex{
+			sortedKeys: make([]uint64, n),
+			sorted:     make([]relation.Tuple, n),
+		}
+		for i, o := range order {
+			idx.sortedKeys[i] = keys[o]
+			idx.sorted[i] = ctx.Build[o]
 		}
 		ctx.State = idx
 	}
@@ -256,15 +269,20 @@ func (j *Join) probe(ctx *Context, t relation.Tuple, emit Emit) {
 		}
 	case lera.HashJoin:
 		idx := ctx.State.(*buildIndex)
-		for _, b := range idx.hash[keyOf(t, j.ProbeKey)] {
-			emit(b.Concat(t))
+		for _, b := range idx.hash[t.HashOn(j.ProbeKey)] {
+			if joinKeysEqual(b, t, j.BuildKey, j.ProbeKey) {
+				emit(b.Concat(t))
+			}
 		}
 	case lera.TempIndex:
 		idx := ctx.State.(*buildIndex)
-		k := keyOf(t, j.ProbeKey)
-		i := sort.SearchStrings(idx.sortedKeys, k)
-		for ; i < len(idx.sortedKeys) && idx.sortedKeys[i] == k; i++ {
-			emit(idx.sorted[i].Concat(t))
+		k := t.HashOn(j.ProbeKey)
+		keys := idx.sortedKeys
+		i := sort.Search(len(keys), func(m int) bool { return keys[m] >= k })
+		for ; i < len(keys) && keys[i] == k; i++ {
+			if b := idx.sorted[i]; joinKeysEqual(b, t, j.BuildKey, j.ProbeKey) {
+				emit(b.Concat(t))
+			}
 		}
 	}
 }
@@ -316,9 +334,20 @@ type Aggregate struct {
 	AggCol  int // -1 for COUNT
 }
 
+// groupMatches reports whether tuple t belongs to the group keyed by g: g
+// was built by projecting the group-by columns, so g[i] pairs with t[cols[i]].
+func groupMatches(g, t relation.Tuple, cols []int) bool {
+	for i, c := range cols {
+		if !g[i].Equal(t[c]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Setup implements Operator.
 func (a *Aggregate) Setup(ctx *Context) error {
-	ctx.State = make(map[string]*aggState)
+	ctx.State = make(map[uint64][]*aggState)
 	return nil
 }
 
@@ -327,14 +356,23 @@ func (a *Aggregate) OnTrigger(*Context, Emit) error { return errNoTrigger("aggre
 
 // OnTuple implements Operator.
 func (a *Aggregate) OnTuple(ctx *Context, t relation.Tuple, _ Emit) error {
-	key := keyOf(t, a.GroupBy)
+	// Group lookup by key-column hash with chained collision buckets: the
+	// per-tuple fast path hashes in place and allocates nothing; only a
+	// group's first tuple materializes the group key (Project).
+	key := t.HashOn(a.GroupBy)
 	ctx.Mu.Lock()
 	defer ctx.Mu.Unlock()
-	groups := ctx.State.(map[string]*aggState)
-	st, ok := groups[key]
-	if !ok {
+	groups := ctx.State.(map[uint64][]*aggState)
+	var st *aggState
+	for _, cand := range groups[key] {
+		if groupMatches(cand.group, t, a.GroupBy) {
+			st = cand
+			break
+		}
+	}
+	if st == nil {
 		st = &aggState{group: t.Project(a.GroupBy)}
-		groups[key] = st
+		groups[key] = append(groups[key], st)
 	}
 	st.count++
 	if a.AggCol >= 0 {
@@ -359,25 +397,27 @@ func (a *Aggregate) OnTuple(ctx *Context, t relation.Tuple, _ Emit) error {
 // OnClose implements Operator: emits one tuple per group.
 func (a *Aggregate) OnClose(ctx *Context, emit Emit) error {
 	ctx.Mu.Lock()
-	groups := ctx.State.(map[string]*aggState)
+	groups := ctx.State.(map[uint64][]*aggState)
 	out := make([]relation.Tuple, 0, len(groups))
-	for _, st := range groups {
-		var v relation.Value
-		switch a.Kind {
-		case lera.AggCount:
-			v = relation.Int(st.count)
-		case lera.AggSum:
-			v = relation.Int(st.sum)
-		case lera.AggMin:
-			v = st.min
-		case lera.AggMax:
-			v = st.max
+	for _, bucket := range groups {
+		for _, st := range bucket {
+			var v relation.Value
+			switch a.Kind {
+			case lera.AggCount:
+				v = relation.Int(st.count)
+			case lera.AggSum:
+				v = relation.Int(st.sum)
+			case lera.AggMin:
+				v = st.min
+			case lera.AggMax:
+				v = st.max
+			}
+			out = append(out, st.group.Concat(relation.Tuple{v}))
 		}
-		out = append(out, st.group.Concat(relation.Tuple{v}))
 	}
 	ctx.Mu.Unlock()
-	// Deterministic emission order helps tests; sort by group key.
-	sort.Slice(out, func(i, k int) bool { return out[i].Key() < out[k].Key() })
+	// Deterministic emission order helps tests; sort by group values.
+	sort.Slice(out, func(i, k int) bool { return out[i].Compare(out[k]) < 0 })
 	for _, t := range out {
 		emit(t)
 	}

@@ -25,6 +25,11 @@ type Func interface {
 	// build tuples: co-location requires routing with the build relation's
 	// own partitioning function, not an arbitrary hash.
 	FragmentOfKey(key []relation.Value) int
+	// FragmentOfCols returns the fragment index for the key found at the
+	// given column positions of t (in Key() order). It is FragmentOfKey
+	// without the projection: the engine's pipelined routing calls it once
+	// per redistributed tuple, so it must not allocate.
+	FragmentOfCols(t relation.Tuple, cols []int) int
 	// Key returns the partitioning attribute names (empty when the function
 	// does not depend on tuple content, e.g. round-robin).
 	Key() []string
@@ -82,6 +87,11 @@ func (h *Hash) FragmentOfKey(key []relation.Value) int {
 	return int(relation.Tuple(key).HashOn(idx) % uint64(h.degree))
 }
 
+// FragmentOfCols implements Func.
+func (h *Hash) FragmentOfCols(t relation.Tuple, cols []int) int {
+	return int(t.HashOn(cols) % uint64(h.degree))
+}
+
 // Signature implements Func.
 func (h *Hash) Signature() string { return fmt.Sprintf("hash/%d", h.degree) }
 
@@ -135,6 +145,14 @@ func (m *Mod) fragmentOfInt(k int64) int {
 		v += int64(m.degree)
 	}
 	return int(v)
+}
+
+// FragmentOfCols implements Func.
+func (m *Mod) FragmentOfCols(t relation.Tuple, cols []int) int {
+	if len(cols) != 1 {
+		panic(fmt.Sprintf("partition: modulo partitioning takes one key column, got %d", len(cols)))
+	}
+	return m.fragmentOfInt(t[cols[0]].AsInt())
 }
 
 // Signature implements Func.
@@ -204,6 +222,14 @@ func (r *Range) fragmentOfInt(k int64) int {
 	return lo
 }
 
+// FragmentOfCols implements Func.
+func (r *Range) FragmentOfCols(t relation.Tuple, cols []int) int {
+	if len(cols) != 1 {
+		panic(fmt.Sprintf("partition: range partitioning takes one key column, got %d", len(cols)))
+	}
+	return r.fragmentOfInt(t[cols[0]].AsInt())
+}
+
 // Signature implements Func. Two range partitionings co-locate keys only
 // when their split points agree, so the bounds are part of the signature.
 func (r *Range) Signature() string { return fmt.Sprintf("range%v", r.bounds) }
@@ -244,6 +270,11 @@ func (r *RoundRobin) FragmentOf(relation.Tuple) int {
 // keys, so key-based routing over it is a plan error caught at validation;
 // reaching this method is a bug.
 func (r *RoundRobin) FragmentOfKey([]relation.Value) int {
+	panic("partition: round-robin placement cannot route by key")
+}
+
+// FragmentOfCols implements Func. Like FragmentOfKey, reaching it is a bug.
+func (r *RoundRobin) FragmentOfCols(relation.Tuple, []int) int {
 	panic("partition: round-robin placement cannot route by key")
 }
 

@@ -39,6 +39,30 @@ func (t Tuple) HashOn(cols []int) uint64 {
 	return h
 }
 
+// Compare orders two tuples of the same schema value-by-value (shorter
+// tuples order first on a shared prefix). Deterministic result emission
+// (aggregate close) sorts with it instead of rendering canonical string
+// keys, which would allocate per tuple.
+func (t Tuple) Compare(o Tuple) int {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(o[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(o):
+		return -1
+	case len(t) > len(o):
+		return 1
+	default:
+		return 0
+	}
+}
+
 // Project returns a new tuple containing only the given column positions.
 func (t Tuple) Project(cols []int) Tuple {
 	out := make(Tuple, len(cols))

@@ -5,7 +5,6 @@ package relation
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strconv"
 )
 
@@ -108,21 +107,34 @@ func (v Value) Compare(o Value) int {
 	}
 }
 
+// FNV-1a constants (hash/fnv), inlined so hashing never allocates: the
+// stdlib constructor returns its state behind the hash.Hash64 interface,
+// which costs one heap allocation per call — unacceptable on the join,
+// group-by and routing hot paths that hash every pipelined tuple.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // Hash returns a stable FNV-1a hash of the value, used by the hash
-// partitioner and the hash join. The hash is independent of process and run.
+// partitioner, the pipelined router, and the hash join and group-by keying.
+// The hash is independent of process and run (it matches hash/fnv exactly),
+// and the computation is allocation-free.
 func (v Value) Hash() uint64 {
-	h := fnv.New64a()
+	h := uint64(fnvOffset64)
 	if v.kind == TInt {
-		var b [8]byte
 		u := uint64(v.i)
 		for k := 0; k < 8; k++ {
-			b[k] = byte(u >> (8 * k))
+			h ^= uint64(byte(u >> (8 * k)))
+			h *= fnvPrime64
 		}
-		h.Write(b[:])
 	} else {
-		h.Write([]byte(v.s))
+		for i := 0; i < len(v.s); i++ {
+			h ^= uint64(v.s[i])
+			h *= fnvPrime64
+		}
 	}
-	return h.Sum64()
+	return h
 }
 
 // String renders the value for debugging and CLI output.

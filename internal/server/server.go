@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dbs3"
 	dbruntime "dbs3/internal/runtime"
@@ -17,6 +19,22 @@ import (
 // Small enough that the first chunk leaves while a big query is still
 // producing, large enough that encoding overhead amortizes.
 const defaultChunkRows = 64
+
+// defaultWriteBuffer sizes the bufio.Writer that coalesces NDJSON frames:
+// a wide streamed result pays one Write to the connection per buffer fill,
+// not one per 64-row chunk.
+const defaultWriteBuffer = 32 << 10
+
+// streamFlushInterval bounds how stale buffered rows may get on a slowly
+// producing query: a chunk emitted at least this long after the last flush
+// forces the buffer (and the HTTP flusher) out, so coalescing never turns a
+// trickle of rows into a stalled client.
+const streamFlushInterval = 100 * time.Millisecond
+
+// defaultStmtTTL is the idle lifetime of a server-side prepared statement
+// when Config.StmtTTL is zero: long enough for any interactive pause, short
+// enough that abandoned clients cannot pin the capped registry forever.
+const defaultStmtTTL = 15 * time.Minute
 
 // Config tunes a Server.
 type Config struct {
@@ -29,20 +47,35 @@ type Config struct {
 	// (0 = 1024); beyond it /prepare rejects with 429 so a client leak
 	// cannot grow server memory unboundedly.
 	MaxStatements int
+	// StmtTTL is the idle lifetime of a server-side prepared statement:
+	// one that is neither executed nor inspected for this long is expired
+	// and its id returns 404, so abandoned clients cannot hold the capped
+	// registry at its limit (0 = 15 minutes; negative disables expiry).
+	// Expired statements count on /stats as statementsExpired.
+	StmtTTL time.Duration
+	// WriteBuffer sizes the per-response bufio.Writer coalescing NDJSON
+	// frames before they hit the connection (0 = 32 KiB).
+	WriteBuffer int
 }
 
 // Server is the HTTP front end over a Database and its QueryManager. It is
 // an http.Handler; wire it to a listener with http.Server or httptest.
 type Server struct {
-	db      *dbs3.Database
-	manager *dbruntime.Manager
-	opts    dbs3.Options
-	chunk   int
-	maxStmt int
+	db       *dbs3.Database
+	manager  *dbruntime.Manager
+	opts     dbs3.Options
+	chunk    int
+	maxStmt  int
+	stmtTTL  time.Duration
+	writeBuf int
 
 	mu     sync.Mutex
 	stmts  map[string]*stmtEntry
 	nextID atomic.Int64
+	// expired counts statements removed by the idle-TTL sweep (lifetime).
+	expired atomic.Int64
+	// now is the clock, a test seam for the TTL sweep.
+	now func() time.Time
 
 	mux *http.ServeMux
 }
@@ -55,6 +88,9 @@ type stmtEntry struct {
 	stmt *dbs3.Stmt
 	opt  dbs3.Options
 	info PrepareResponse
+	// lastUsed is the statement's last prepare/inspect/exec time, guarded
+	// by Server.mu; the idle-TTL sweep expires on it.
+	lastUsed time.Time
 }
 
 // New builds a Server over db. The manager must be the one installed on db
@@ -65,19 +101,28 @@ func New(db *dbs3.Database, manager *dbruntime.Manager, cfg Config) *Server {
 		panic("server: nil manager (install one with Database.Manager)")
 	}
 	s := &Server{
-		db:      db,
-		manager: manager,
-		opts:    cfg.DefaultOptions,
-		chunk:   cfg.ChunkRows,
-		maxStmt: cfg.MaxStatements,
-		stmts:   make(map[string]*stmtEntry),
-		mux:     http.NewServeMux(),
+		db:       db,
+		manager:  manager,
+		opts:     cfg.DefaultOptions,
+		chunk:    cfg.ChunkRows,
+		maxStmt:  cfg.MaxStatements,
+		stmtTTL:  cfg.StmtTTL,
+		writeBuf: cfg.WriteBuffer,
+		stmts:    make(map[string]*stmtEntry),
+		now:      time.Now,
+		mux:      http.NewServeMux(),
 	}
 	if s.chunk <= 0 {
 		s.chunk = defaultChunkRows
 	}
 	if s.maxStmt <= 0 {
 		s.maxStmt = 1024
+	}
+	if s.stmtTTL == 0 {
+		s.stmtTTL = defaultStmtTTL
+	}
+	if s.writeBuf <= 0 {
+		s.writeBuf = defaultWriteBuffer
 	}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /prepare", s.handlePrepare)
@@ -129,6 +174,9 @@ func overlayOptions(base dbs3.Options, r *http.Request, wire *Options) dbs3.Opti
 	}
 	if wire.StreamBuffer != 0 {
 		opt.StreamBuffer = wire.StreamBuffer
+	}
+	if wire.BatchGrain != 0 {
+		opt.BatchGrain = wire.BatchGrain
 	}
 	if wire.Materialize {
 		opt.Materialize = true
@@ -204,8 +252,11 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), errorStatus(err))
 		return
 	}
-	entry := &stmtEntry{stmt: stmt, opt: opt}
+	entry := &stmtEntry{stmt: stmt, opt: opt, lastUsed: s.now()}
 	s.mu.Lock()
+	// Expire idle statements before the cap check: abandoned clients must
+	// not be the reason a live one is turned away.
+	s.sweepLocked(entry.lastUsed)
 	if len(s.stmts) >= s.maxStmt {
 		s.mu.Unlock()
 		http.Error(w, fmt.Sprintf("server: %d prepared statements open; close some", s.maxStmt), http.StatusTooManyRequests)
@@ -224,17 +275,47 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, entry.info)
 }
 
-// lookup resolves a {id} path segment to a registered statement.
+// lookup resolves a {id} path segment to a registered statement, enforcing
+// the idle TTL (an expired id is gone, exactly as if it was never prepared)
+// and touching the entry's idle clock on success.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*stmtEntry, bool) {
 	id := r.PathValue("id")
+	now := s.now()
 	s.mu.Lock()
 	entry, ok := s.stmts[id]
+	if ok && s.expiredLocked(entry, now) {
+		delete(s.stmts, id)
+		s.expired.Add(1)
+		ok = false
+	}
+	if ok {
+		entry.lastUsed = now
+	}
 	s.mu.Unlock()
 	if !ok {
 		http.Error(w, fmt.Sprintf("server: no prepared statement %q", id), http.StatusNotFound)
 		return nil, false
 	}
 	return entry, true
+}
+
+// expiredLocked reports whether an entry's idle time exceeds the TTL.
+func (s *Server) expiredLocked(e *stmtEntry, now time.Time) bool {
+	return s.stmtTTL > 0 && now.Sub(e.lastUsed) > s.stmtTTL
+}
+
+// sweepLocked removes every statement idle beyond the TTL. Callers hold
+// s.mu; the sweep is O(open statements), bounded by MaxStatements.
+func (s *Server) sweepLocked(now time.Time) {
+	if s.stmtTTL <= 0 {
+		return
+	}
+	for id, e := range s.stmts {
+		if s.expiredLocked(e, now) {
+			delete(s.stmts, id)
+			s.expired.Add(1)
+		}
+	}
 }
 
 // handleStmtInfo returns a prepared statement's metadata.
@@ -298,8 +379,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.manager.Stats()
 	hits, misses := s.db.PlanCacheStats()
 	s.mu.Lock()
+	s.sweepLocked(s.now())
 	open := len(s.stmts)
 	s.mu.Unlock()
+	expired := s.expired.Load()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Budget:                s.manager.Budget(),
 		ActiveThreads:         st.ThreadsInFlight,
@@ -318,6 +401,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PlanCacheHits:         hits,
 		PlanCacheMisses:       misses,
 		Statements:            open,
+		StatementsExpired:     expired,
 		Relations:             s.db.Relations(),
 	})
 }
@@ -337,34 +421,90 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, stmt *dbs3.Stmt,
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no") // proxies must not re-buffer the stream
-	enc := json.NewEncoder(w)
+
+	// NDJSON frames coalesce in a sized bufio.Writer: a wide streamed result
+	// pays one connection Write per buffer fill instead of one per 64-row
+	// chunk. Streaming latency stays bounded: the header, the first row
+	// chunk and the terminal message flush immediately, and a background
+	// ticker flushes anything buffered at least every streamFlushInterval —
+	// so a slowly producing query can never strand rows in the buffer while
+	// it blocks for the next chunk. wmu serializes the handler's writes with
+	// the ticker's flushes (neither bufio.Writer nor http.ResponseWriter is
+	// concurrency-safe).
+	bw := bufio.NewWriterSize(w, s.writeBuf)
+	enc := json.NewEncoder(bw)
 	flusher, _ := w.(http.Flusher)
-	flush := func() {
+	var wmu sync.Mutex
+	dirty := false // buffered bytes not yet flushed; guarded by wmu
+	flushLocked := func() {
+		bw.Flush()
 		if flusher != nil {
 			flusher.Flush()
 		}
+		dirty = false
+	}
+	stopFlush := make(chan struct{})
+	flushDone := make(chan struct{})
+	go func() {
+		defer close(flushDone)
+		ticker := time.NewTicker(streamFlushInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				wmu.Lock()
+				if dirty {
+					flushLocked()
+				}
+				wmu.Unlock()
+			case <-stopFlush:
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(stopFlush)
+		<-flushDone
+		// Final drain for the error-return paths; success paths flushed.
+		wmu.Lock()
+		flushLocked()
+		wmu.Unlock()
+	}()
+	// encode writes one message; flush forces it (and anything buffered)
+	// out. Without flush the bytes leave when the buffer fills or the
+	// ticker fires.
+	encode := func(m Message, flush bool) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		err := enc.Encode(m)
+		if flush {
+			flushLocked()
+		} else {
+			dirty = true
+		}
+		return err
 	}
 
 	cols := rows.Columns()
-	if err := enc.Encode(Message{Header: &Header{
+	if err := encode(Message{Header: &Header{
 		Columns:     cols,
 		Types:       rows.ColumnTypes(),
 		Threads:     rows.Threads(),
 		Utilization: rows.Utilization(),
-	}}); err != nil {
+	}}, true); err != nil {
 		return
 	}
-	flush()
 
 	var count int64
+	firstChunk := true
 	chunk := make([][]any, 0, s.chunk)
 	emit := func() bool {
 		if len(chunk) == 0 {
 			return true
 		}
-		err := enc.Encode(Message{Rows: chunk})
+		err := encode(Message{Rows: chunk}, firstChunk)
+		firstChunk = false
 		chunk = chunk[:0]
-		flush()
 		return err == nil
 	}
 	for rows.Next() {
@@ -374,7 +514,7 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, stmt *dbs3.Stmt,
 			ptrs[i] = &row[i]
 		}
 		if err := rows.Scan(ptrs...); err != nil {
-			enc.Encode(Message{Error: err.Error()})
+			encode(Message{Error: err.Error()}, true)
 			return
 		}
 		chunk = append(chunk, row)
@@ -387,14 +527,13 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, stmt *dbs3.Stmt,
 		// The header is already on the wire, so the failure travels in-band;
 		// the missing done message tells a half-read client the stream is
 		// truncated, not complete.
-		enc.Encode(Message{Error: err.Error()})
+		encode(Message{Error: err.Error()}, true)
 		return
 	}
 	if !emit() {
 		return
 	}
-	enc.Encode(Message{Done: &Footer{RowCount: count, Threads: rows.Threads(), ChainThreads: rows.ChainThreads(), Operators: rows.Operators()}})
-	flush()
+	encode(Message{Done: &Footer{RowCount: count, Threads: rows.Threads(), ChainThreads: rows.ChainThreads(), Operators: rows.Operators()}}, true)
 }
 
 // writeJSON writes one JSON response.

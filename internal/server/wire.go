@@ -54,6 +54,9 @@ type Options struct {
 	Priority string `json:"priority,omitempty"`
 	// StreamBuffer is the bounded row-sink capacity between engine and wire.
 	StreamBuffer int `json:"streamBuffer,omitempty"`
+	// BatchGrain is the engine's producer-side tuple batch size on the
+	// pipelined data plane (0 = engine default, 1 = per-tuple pushes).
+	BatchGrain int `json:"batchGrain,omitempty"`
 	// Materialize splits the plan at a materialization point before
 	// aggregation/projection, letting the manager renegotiate the query's
 	// thread reservation between the two chains (see dbs3.Options).
@@ -144,8 +147,11 @@ type StatsResponse struct {
 	// Plan-cache amortization counters.
 	PlanCacheHits   int64 `json:"planCacheHits"`
 	PlanCacheMisses int64 `json:"planCacheMisses"`
-	// Statements is the number of open server-side prepared statements.
-	Statements int `json:"statements"`
+	// Statements is the number of open server-side prepared statements;
+	// StatementsExpired counts the ones the idle-TTL sweep has reclaimed
+	// from abandoned clients over the server's lifetime.
+	Statements        int   `json:"statements"`
+	StatementsExpired int64 `json:"statementsExpired"`
 	// Relations lists the served catalog.
 	Relations []string `json:"relations"`
 }

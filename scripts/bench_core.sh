@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# bench_core.sh — run the batch-at-a-time hot-path benchmarks and emit
+# BENCH_core.json (archived by CI next to BENCH_adaptive.json).
+#
+# Two benchmark families feed the artifact:
+#   - CoreHotPath* (package dbs3): the whole pipelined-join and aggregate
+#     pipelines, batched (default grain) vs batch grain 1 — the ns/op
+#     comparison of the batched data plane against the per-tuple protocol.
+#   - JoinProbe*/AggregateTuple* (internal/operator): the probe/group hot
+#     path per tuple, hash-keyed (current) vs the frozen string-key
+#     baseline — the allocs/op comparison for the key representation.
+#
+# The script FAILS (CI gate) when:
+#   - allocs/op of BenchmarkCoreHotPathPipelinedJoinBatched regresses above
+#     the committed baseline MAX_PIPELINED_JOIN_ALLOCS, or
+#   - the hash-keyed probe path stops allocating >= 50% less than the
+#     string-key baseline (allocs/op are deterministic, unlike ns/op).
+#
+# Usage: ./scripts/bench_core.sh [pipeline-benchtime] [micro-benchtime] [out.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Committed baseline: BenchmarkCoreHotPathPipelinedJoinBatched measures
+# ~7149 allocs/op; 7900 gives ~10% headroom for Go-runtime drift while
+# still catching any per-tuple allocation creeping back into the probe or
+# routing path (each one adds 40k+ allocs to this benchmark).
+MAX_PIPELINED_JOIN_ALLOCS=7900
+
+PIPE_BENCHTIME="${1:-30x}"
+MICRO_BENCHTIME="${2:-100000x}"
+OUT="${3:-BENCH_core.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'CoreHotPath' \
+  -benchmem -benchtime "$PIPE_BENCHTIME" -count 1 . | tee "$RAW"
+go test -run '^$' -bench 'JoinProbe|AggregateTuple' \
+  -benchmem -benchtime "$MICRO_BENCHTIME" -count 1 ./internal/operator/ | tee -a "$RAW"
+
+# Fold benchmark lines into JSON and compute the summary ratios the
+# acceptance criteria read: batched-vs-grain-1 speedups and the probe-path
+# allocs reduction vs the string-key baseline.
+awk '
+  function metric(bench, name) { return m[bench "\x1f" name] }
+  /^Benchmark/ {
+    bench = $1
+    sub(/-[0-9]+$/, "", bench)  # strip the GOMAXPROCS suffix
+    if (n++) body = body ","
+    body = body sprintf("\n    {\"name\":\"%s\",\"iterations\":%s,\"metrics\":{", bench, $2)
+    first = 1
+    for (i = 3; i < NF; i += 2) {
+      if (!first) body = body ","
+      first = 0
+      body = body sprintf("\"%s\":%s", $(i+1), $i)
+      m[bench "\x1f" $(i+1)] = $i
+    }
+    body = body "}}"
+  }
+  END {
+    print "{"
+    printf "  \"benchmarks\": [%s\n  ],\n", body
+    jb = metric("BenchmarkCoreHotPathPipelinedJoinBatched", "ns/op")
+    jg = metric("BenchmarkCoreHotPathPipelinedJoinGrain1", "ns/op")
+    ab = metric("BenchmarkCoreHotPathAggregateBatched", "ns/op")
+    ag = metric("BenchmarkCoreHotPathAggregateGrain1", "ns/op")
+    ja = metric("BenchmarkCoreHotPathPipelinedJoinBatched", "allocs/op")
+    ph = metric("BenchmarkJoinProbeHashKey", "allocs/op")
+    ps = metric("BenchmarkJoinProbeStringKey", "allocs/op")
+    gh = metric("BenchmarkAggregateTupleHashKey", "allocs/op")
+    gs = metric("BenchmarkAggregateTupleStringKey", "allocs/op")
+    printf "  \"summary\": {\n"
+    printf "    \"pipelined_join_speedup\": %.3f,\n", jg / jb
+    printf "    \"pipelined_join_batched_allocs_per_op\": %d,\n", ja
+    printf "    \"aggregate_speedup\": %.3f,\n", ag / ab
+    printf "    \"probe_allocs_reduction_pct\": %.1f,\n", (1 - ph / ps) * 100
+    printf "    \"aggregate_key_allocs_reduction_pct\": %.1f\n", (1 - gh / gs) * 100
+    printf "  },\n"
+    printf "  \"baseline\": {\"max_pipelined_join_allocs_per_op\": %d},\n", maxallocs
+    cmd = "date -u +%Y-%m-%dT%H:%M:%SZ"; cmd | getline ts; close(cmd)
+    printf "  \"generated\": \"%s\",\n", ts
+    printf "  \"benchtime\": {\"pipeline\": \"%s\", \"micro\": \"%s\"}\n", pbt, mbt
+    print "}"
+    # Gates (deterministic metrics only).
+    status = 0
+    if (ja == "" || ja + 0 > maxallocs) {
+      printf "bench_core: pipelined-join allocs/op %s exceeds committed baseline %d\n", ja, maxallocs > "/dev/stderr"
+      status = 1
+    }
+    if (ps == "" || ph == "" || (1 - ph / ps) * 100 < 50) {
+      printf "bench_core: probe-path allocs reduction %.1f%% below the 50%% floor\n", (1 - ph / ps) * 100 > "/dev/stderr"
+      status = 1
+    }
+    exit status
+  }
+' maxallocs="$MAX_PIPELINED_JOIN_ALLOCS" pbt="$PIPE_BENCHTIME" mbt="$MICRO_BENCHTIME" "$RAW" > "$OUT"
+
+grep -q '"name":"Benchmark' "$OUT" || { echo "bench_core: no benchmark results captured" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json; d = json.load(open('$OUT')); assert d['benchmarks'] and d['summary']"
+fi
+echo "wrote $OUT"

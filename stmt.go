@@ -326,6 +326,7 @@ func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 		Threads:      s.opt.Threads,
 		Strategy:     s.strat,
 		TriggerGrain: s.opt.Grain,
+		BatchGrain:   s.opt.BatchGrain,
 		Utilization:  s.opt.Utilization,
 		StreamOutput: esql.OutputName,
 		Sink:         &rowSink{ctx: qctx, ch: ch},
