@@ -98,6 +98,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *batchGrain < 0 {
+		fatal(fmt.Errorf("-batchgrain %d is negative (0 = engine default, 1 = per-tuple pushes)", *batchGrain))
+	}
 
 	db := dbs3.New()
 	if err := db.CreateWisconsin("wisc", *wisc, *degree, "unique2", 42); err != nil {

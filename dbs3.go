@@ -344,7 +344,30 @@ type Options struct {
 	// activation counts, consumption strategies and the paper's skew
 	// overhead formula are unaffected (see DESIGN.md, "Batch grain vs
 	// activation grain").
+	//
+	// Negative values are rejected at Prepare with an error — there is no
+	// sensible meaning to clamp them to silently.
 	BatchGrain int
+	// NoVectorize forces the per-tuple operator path: activation batches
+	// are unpacked into individual OnTuple calls even for operators with a
+	// vectorized OnBatch implementation — the paper's original processing
+	// model, kept as an ablation/debugging switch (the Grain1 hot-path
+	// benchmarks use it as the per-tuple baseline). Results and per-operator
+	// statistics are identical either way; only throughput differs.
+	NoVectorize bool
+}
+
+// validate rejects option values with no meaningful interpretation. Named
+// enum fields have their own accessors (strategy, joinAlgo, priority); this
+// covers the numeric knobs where a silent clamp would hide a caller bug.
+func (o *Options) validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.BatchGrain < 0 {
+		return fmt.Errorf("dbs3: BatchGrain %d is negative (0 = engine default, 1 = per-tuple pushes)", o.BatchGrain)
+	}
+	return nil
 }
 
 func (o *Options) strategy() (core.StrategyKind, error) {

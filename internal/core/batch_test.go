@@ -1,12 +1,16 @@
 package core
 
 // Batch-at-a-time data plane tests: Queue.PushBatch unit semantics, and the
-// equivalence property the whole design rests on — a batched execution
-// (BatchGrain > 1) is indistinguishable from the per-tuple protocol
-// (BatchGrain = 1) in everything but speed: identical result multisets,
+// equivalence property the whole design rests on — a batched, vectorized
+// execution (BatchGrain > 1, operators running OnBatch) is indistinguishable
+// from the per-tuple protocol (BatchGrain = 1 with NoVectorize, every tuple
+// through OnTuple) in everything but speed: identical result multisets,
 // identical per-operator activation/emission accounting (tuples, never
 // batches), identical per-worker activation counts when the allocation is
-// deterministic, and identical cancellation behavior mid-batch.
+// deterministic, and identical cancellation behavior mid-batch. The join
+// matrix also covers the fallback seam: NestedLoop joins have no OnBatch,
+// so their runs take the per-tuple dispatch path while the filters, stores
+// and transmits around them vectorize.
 
 import (
 	"context"
@@ -159,6 +163,11 @@ func TestBatchGrainDefaultsAndClamp(t *testing.T) {
 // grain (forcing partial flushes at trigger boundaries) and the default.
 var grainsUnderTest = []int{7, DefaultBatchGrain}
 
+// vectorGrains drives the vectorized path against the per-tuple reference:
+// grain 1 (runs of one tuple — the degenerate OnBatch), an awkward odd
+// grain, and the default.
+var vectorGrains = []int{1, 7, DefaultBatchGrain}
+
 // statsSnapshot flattens the per-node counters that must not depend on the
 // transport grain.
 func statsSnapshot(res *Result) map[int][3]int64 {
@@ -179,7 +188,9 @@ func TestBatchGrainEquivalenceJoins(t *testing.T) {
 			for _, assoc := range []bool{false, true} {
 				for _, trigGrain := range []int{0, 3} { // whole-fragment and partial triggers
 					name := fmt.Sprintf("theta=%v/algo=%v/assoc=%v/grain=%d", theta, algo, assoc, trigGrain)
-					base := Options{Threads: 4, TriggerGrain: trigGrain, BatchGrain: 1}
+					// Reference: the strict per-tuple protocol — grain 1 AND
+					// vectorization off, so every tuple goes through OnTuple.
+					base := Options{Threads: 4, TriggerGrain: trigGrain, BatchGrain: 1, NoVectorize: true}
 					ref := executeJoin(t, db, assoc, algo, base)
 					refRel, err := ref.Relation("Res")
 					if err != nil {
@@ -187,21 +198,22 @@ func TestBatchGrainEquivalenceJoins(t *testing.T) {
 					}
 					refStats := statsSnapshot(ref)
 					if err := db.VerifyJoinResult(ref.Outputs["Res"]); err != nil {
-						t.Fatalf("%s: grain-1 reference wrong: %v", name, err)
+						t.Fatalf("%s: per-tuple reference wrong: %v", name, err)
 					}
-					for _, bg := range grainsUnderTest {
+					for _, bg := range vectorGrains {
 						opts := base
 						opts.BatchGrain = bg
+						opts.NoVectorize = false
 						got := executeJoin(t, db, assoc, algo, opts)
 						gotRel, err := got.Relation("Res")
 						if err != nil {
 							t.Fatal(err)
 						}
 						if !gotRel.EqualMultiset(refRel) {
-							t.Errorf("%s: batch grain %d result differs from grain 1", name, bg)
+							t.Errorf("%s: vectorized grain %d result differs from per-tuple reference", name, bg)
 						}
 						if gs := statsSnapshot(got); !statsEqual(gs, refStats) {
-							t.Errorf("%s: batch grain %d accounting %v, grain 1 %v — activations must count tuples, not batches",
+							t.Errorf("%s: vectorized grain %d accounting %v, per-tuple %v — activations must count tuples, not batches",
 								name, bg, gs, refStats)
 						}
 					}
@@ -255,8 +267,8 @@ func TestBatchGrainEquivalenceAggregate(t *testing.T) {
 			"SELECT onePercent, MAX(unique2) FROM wisc WHERE unique1 < 3000 GROUP BY onePercent",
 		} {
 			plan, db := wisconsinPlan(t, sql, partKey, 4000, 8)
-			run := func(bg int) (*relation.Relation, map[int][3]int64) {
-				res, err := Execute(plan, db, Options{Threads: 4, BatchGrain: bg})
+			run := func(bg int, noVec bool) (*relation.Relation, map[int][3]int64) {
+				res, err := Execute(plan, db, Options{Threads: 4, BatchGrain: bg, NoVectorize: noVec})
 				if err != nil {
 					t.Fatalf("part=%s sql=%q grain=%d: %v", partKey, sql, bg, err)
 				}
@@ -266,17 +278,17 @@ func TestBatchGrainEquivalenceAggregate(t *testing.T) {
 				}
 				return rel, statsSnapshot(res)
 			}
-			refRel, refStats := run(1)
+			refRel, refStats := run(1, true) // strict per-tuple reference
 			if refRel.Cardinality() == 0 {
 				t.Fatalf("part=%s sql=%q: empty reference result", partKey, sql)
 			}
-			for _, bg := range grainsUnderTest {
-				gotRel, gotStats := run(bg)
+			for _, bg := range vectorGrains {
+				gotRel, gotStats := run(bg, false)
 				if !gotRel.EqualMultiset(refRel) {
-					t.Errorf("part=%s sql=%q: batch grain %d result differs from grain 1", partKey, sql, bg)
+					t.Errorf("part=%s sql=%q: vectorized grain %d result differs from per-tuple reference", partKey, sql, bg)
 				}
 				if !statsEqual(gotStats, refStats) {
-					t.Errorf("part=%s sql=%q: batch grain %d accounting %v, grain 1 %v", partKey, sql, bg, gotStats, refStats)
+					t.Errorf("part=%s sql=%q: vectorized grain %d accounting %v, per-tuple %v", partKey, sql, bg, gotStats, refStats)
 				}
 			}
 		}

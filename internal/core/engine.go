@@ -28,7 +28,9 @@ type Options struct {
 	// Strategy overrides the per-operation consumption strategy;
 	// StrategyAuto (default) keeps the scheduler's choice.
 	Strategy StrategyKind
-	// CacheSize is the internal activation cache (batch) size; default 16.
+	// CacheSize is the internal activation cache (batch) size — the upper
+	// bound on one queue drain, and so on the tuple runs the vectorized
+	// OnBatch path sees; default 64.
 	CacheSize int
 	// BatchGrain is the producer-side batch size of the pipelined data
 	// plane: each pool thread buffers emitted tuples per destination queue
@@ -40,6 +42,14 @@ type Options struct {
 	// each still arrives as its own activation, so activation counts,
 	// consumption strategies and the skew formula's a are untouched.
 	BatchGrain int
+	// NoVectorize forces the per-tuple operator path: batches popped from
+	// the activation queues are unpacked into individual OnTuple calls even
+	// for operators with a vectorized OnBatch implementation — the paper's
+	// original processing model. Off (the default) lets such operators
+	// process each popped run in one call, vectorized inside. Either way the
+	// observable execution is identical: same activation counts, same
+	// emitted multisets, same per-node OpStats.
+	NoVectorize bool
 	// QueueCap is each activation queue's capacity; default 256.
 	QueueCap int
 	// Seed makes the Random strategy deterministic; default 1.
@@ -104,6 +114,15 @@ type RowSink interface {
 	Push(t relation.Tuple) error
 }
 
+// RowBatchSink is an optional RowSink extension: a sink implementing it
+// receives whole vectorized-path tuple runs in one PushBatch call (one sink
+// synchronization per batch). The slice is engine-owned scratch — consume it
+// before returning; the Tuples inside are immutable and may be retained.
+type RowBatchSink interface {
+	RowSink
+	PushBatch(ts []relation.Tuple) error
+}
+
 // DefaultBatchGrain is the producer-side route-buffer size used when
 // Options.BatchGrain is zero: large enough to amortize the queue mutex and
 // wake across a meaningful run of tuples, small enough that a buffered tuple
@@ -115,7 +134,7 @@ func (o Options) withDefaults() Options {
 		o.Processors = runtime.GOMAXPROCS(0)
 	}
 	if o.CacheSize <= 0 {
-		o.CacheSize = 16
+		o.CacheSize = 64
 	}
 	if o.QueueCap <= 0 {
 		o.QueueCap = 256
@@ -485,24 +504,36 @@ func runChain(ctx context.Context, plan *lera.Plan, chain []int, db DB, alloc Al
 		}
 		consumer := ops[e.To]
 		producers[e.To]++
-		var route func(inst int, t relation.Tuple) int
+		tg := routeTarget{op: consumer}
 		switch e.Route {
 		case lera.RouteSame:
-			route = func(inst int, _ relation.Tuple) int { return inst }
+			tg.same = true
+			tg.route = func(inst int, _ relation.Tuple) int { return inst }
 		case lera.RouteHash:
 			cols := be.RouteColsIdx
 			if router := plan.Nodes[e.To].Router; router != nil {
-				route = func(_ int, t relation.Tuple) int {
+				tg.route = func(_ int, t relation.Tuple) int {
 					return router.FragmentOfCols(t, cols)
+				}
+				if br, ok := router.(partition.BatchFunc); ok {
+					tg.routeBatch = func(ts []relation.Tuple, dst []int32) []int32 {
+						return br.FragmentsOfCols(ts, cols, dst)
+					}
 				}
 			} else {
 				degree := uint64(consumer.Degree())
-				route = func(_ int, t relation.Tuple) int {
+				tg.route = func(_ int, t relation.Tuple) int {
 					return int(t.HashOn(cols) % degree)
+				}
+				tg.routeBatch = func(ts []relation.Tuple, dst []int32) []int32 {
+					for _, t := range ts {
+						dst = append(dst, int32(t.HashOn(cols)%degree))
+					}
+					return dst
 				}
 			}
 		}
-		targetsOf[e.From] = append(targetsOf[e.From], routeTarget{op: consumer, route: route})
+		targetsOf[e.From] = append(targetsOf[e.From], tg)
 	}
 	for _, id := range chain {
 		op := ops[id]
@@ -617,7 +648,11 @@ func buildOperation(plan *lera.Plan, id int, db DB, alloc Allocation, opts Optio
 		op = &operator.Aggregate{GroupBy: bn.GroupIdx, Kind: n.Agg, AggCol: bn.AggIdx}
 	case lera.OpStore:
 		if n.As == opts.StreamOutput && opts.Sink != nil {
-			op = &operator.Sink{Push: opts.Sink.Push}
+			sink := &operator.Sink{Push: opts.Sink.Push}
+			if bs, ok := opts.Sink.(RowBatchSink); ok {
+				sink.PushBatch = bs.PushBatch
+			}
+			op = sink
 		} else {
 			store = operator.NewStore(degree)
 			op = store
@@ -656,6 +691,7 @@ func buildOperation(plan *lera.Plan, id int, db DB, alloc Allocation, opts Optio
 	}
 
 	o := newOperation(n.Name, id, op, ctxs, opts.QueueCap, alloc.Node[id], opts.CacheSize, alloc.Strategy[id], opts.Seed+int64(id)*7919, plan.Graph.Triggered(id))
+	o.noVectorize = opts.NoVectorize
 
 	// LPT cost estimates per queue.
 	switch {

@@ -68,19 +68,26 @@ type emitFunc func(inst int, t relation.Tuple)
 
 // routeTarget is one downstream consumer of an operation's output: the
 // consuming operation plus the routing function that maps an emitted tuple
-// (and the emitting instance) to a destination queue index.
+// (and the emitting instance) to a destination queue index. same marks
+// instance-aligned (RouteSame) targets, whose destination is constant for a
+// whole emitted run; routeBatch, when non-nil, routes a whole run in one
+// call (hash-partitioned edges whose partitioner vectorizes).
 type routeTarget struct {
-	op    *Operation
-	route func(inst int, t relation.Tuple) int
+	op         *Operation
+	route      func(inst int, t relation.Tuple) int
+	same       bool
+	routeBatch func(ts []relation.Tuple, dst []int32) []int32
 }
 
 // emitter is the per-worker emission path. emit hands one produced tuple to
-// the routing layer; flush forces any buffered tuples into their destination
-// queues. Workers flush after every processed activation batch and after
-// instance closes, so buffered tuples are always downstream before an
-// operation can report completion (and close its consumers' queues).
+// the routing layer, emitRun a whole run of them; flush forces any buffered
+// tuples into their destination queues. Workers flush after every processed
+// activation batch and after instance closes, so buffered tuples are always
+// downstream before an operation can report completion (and close its
+// consumers' queues).
 type emitter interface {
 	emit(inst int, t relation.Tuple)
+	emitRun(inst int, ts []relation.Tuple)
 	flush()
 }
 
@@ -88,7 +95,55 @@ type emitter interface {
 type funcEmitter emitFunc
 
 func (f funcEmitter) emit(inst int, t relation.Tuple) { f(inst, t) }
-func (funcEmitter) flush()                            {}
+func (f funcEmitter) emitRun(inst int, ts []relation.Tuple) {
+	for _, t := range ts {
+		f(inst, t)
+	}
+}
+func (funcEmitter) flush() {}
+
+// workerEmit is one worker's reusable emission closure: the operator-facing
+// Emit callback plus the state it needs (current queue index, tuples emitted
+// since last publish). Allocated once per worker instead of one closure per
+// processed batch — the per-batch cost is two field writes, not two heap
+// allocations.
+type workerEmit struct {
+	em      emitter
+	qi      int
+	emitted int64
+	// run gathers emitted tuples so the routing layer sees whole runs
+	// (emitRun hoists the per-target and per-destination bookkeeping out of
+	// the per-tuple path). Flushed when full and at the end of every
+	// processed activation batch — the worker-loop flush contract above.
+	run []relation.Tuple
+	fn  operator.Emit
+}
+
+func newWorkerEmit(em emitter, cap int) *workerEmit {
+	if cap < 1 {
+		cap = 1
+	}
+	w := &workerEmit{em: em, run: make([]relation.Tuple, 0, cap)}
+	w.fn = w.emit
+	return w
+}
+
+func (w *workerEmit) emit(t relation.Tuple) {
+	w.emitted++
+	w.run = append(w.run, t)
+	if len(w.run) == cap(w.run) {
+		w.flushRun()
+	}
+}
+
+// flushRun delivers the gathered run to the routing layer. Must run before
+// the emitter's flush at every batch boundary.
+func (w *workerEmit) flushRun() {
+	if len(w.run) > 0 {
+		w.em.emitRun(w.qi, w.run)
+		w.run = w.run[:0]
+	}
+}
 
 // routeEmitter is one worker's batch-at-a-time routing state: a small buffer
 // per destination queue, flushed into the queue with a single PushBatch (one
@@ -100,6 +155,7 @@ type routeEmitter struct {
 	targets []routeTarget
 	grain   int
 	bufs    [][][]Activation // [target][destination queue] -> pending tuples
+	dsts    []int32          // routeBatch scratch: destinations for one run
 }
 
 func newRouteEmitter(targets []routeTarget, grain int) *routeEmitter {
@@ -130,6 +186,63 @@ func (e *routeEmitter) emit(inst int, t relation.Tuple) {
 	}
 }
 
+// emitRun routes a whole run of tuples emitted by one instance: the
+// per-target loop, buffer lookups and — on instance-aligned or batch-routable
+// edges — the routing decisions are amortized over the run instead of paid
+// per tuple.
+func (e *routeEmitter) emitRun(inst int, ts []relation.Tuple) {
+	for ti := range e.targets {
+		tg := &e.targets[ti]
+		bufs := e.bufs[ti]
+		switch {
+		case tg.same:
+			// One destination for the whole run.
+			buf := bufs[inst]
+			if buf == nil {
+				buf = make([]Activation, 0, e.grain)
+			}
+			for _, t := range ts {
+				buf = append(buf, Activation{Tuple: t})
+				if len(buf) >= e.grain {
+					tg.op.Queues[inst].PushBatch(buf)
+					buf = buf[:0]
+				}
+			}
+			bufs[inst] = buf
+		case tg.routeBatch != nil:
+			// Vectorized routing: all destinations computed in one call.
+			e.dsts = tg.routeBatch(ts, e.dsts[:0])
+			for k, t := range ts {
+				dst := e.dsts[k]
+				buf := bufs[dst]
+				if buf == nil {
+					buf = make([]Activation, 0, e.grain)
+				}
+				buf = append(buf, Activation{Tuple: t})
+				if len(buf) >= e.grain {
+					tg.op.Queues[dst].PushBatch(buf)
+					buf = buf[:0]
+				}
+				bufs[dst] = buf
+			}
+		default:
+			for _, t := range ts {
+				dst := tg.route(inst, t)
+				buf := bufs[dst]
+				if buf == nil {
+					buf = make([]Activation, 0, e.grain)
+				}
+				buf = append(buf, Activation{Tuple: t})
+				if len(buf) >= e.grain {
+					tg.op.Queues[dst].PushBatch(buf)
+					buf = buf[:0]
+				}
+				bufs[dst] = buf
+			}
+		}
+	}
+}
+
 func (e *routeEmitter) flush() {
 	for ti := range e.targets {
 		qs := e.targets[ti].op.Queues
@@ -154,13 +267,19 @@ type Operation struct {
 	CacheSize int
 	Strat     StrategyKind
 
-	op        operator.Operator
-	ctxs      []*operator.Context
-	setups    []sync.Once
-	emit      emitFunc // test seam; production routing uses targets
-	seed      int64
-	stats     *OpStats
-	triggered bool
+	op   operator.Operator
+	ctxs []*operator.Context
+	// batchOp is op's vectorized face, non-nil when the operator implements
+	// BatchOperator: process hands it whole runs of pipelined tuples instead
+	// of unpacking them into per-tuple OnTuple calls. Cleared by noVectorize
+	// (Options.NoVectorize) to force the per-tuple path.
+	batchOp     operator.BatchOperator
+	noVectorize bool
+	setups      []sync.Once
+	emit        emitFunc // test seam; production routing uses targets
+	seed        int64
+	stats       *OpStats
+	triggered   bool
 
 	// targets and batchGrain configure the batch-at-a-time routing layer:
 	// each worker buffers emitted tuples per destination queue and delivers
@@ -209,6 +328,9 @@ func newOperation(name string, nodeID int, op operator.Operator, ctxs []*operato
 		triggered:  triggered,
 		inflight:   make([]int, len(ctxs)),
 		closeBegun: make([]bool, len(ctxs)),
+	}
+	if bo, ok := op.(operator.BatchOperator); ok {
+		o.batchOp = bo
 	}
 	o.cond = sync.NewCond(&o.mu)
 	for i := range o.Queues {
@@ -262,6 +384,13 @@ func (o *Operation) worker(w int) {
 	strat := newStrategy(o.Strat, o.seed+int64(w))
 	cache := make([]Activation, 0, o.CacheSize)
 	em := o.newEmitter()
+	we := newWorkerEmit(em, o.CacheSize)
+	// Worker-private tuple scratch for the vectorized path: runs of pipelined
+	// activations are gathered here and handed to OnBatch in one call.
+	var tup []relation.Tuple
+	if o.batchOp != nil && !o.noVectorize {
+		tup = make([]relation.Tuple, 0, o.CacheSize)
+	}
 
 	for {
 		batch, qi, ok := o.acquire(strat, main, mainIdx, cache, em)
@@ -272,7 +401,7 @@ func (o *Operation) worker(w int) {
 			continue
 		}
 		o.stats.perWorker[w].Add(int64(len(batch)))
-		o.process(qi, batch, em)
+		o.process(qi, batch, we, tup)
 		// Flush at the batch boundary: every trigger boundary and pipelined
 		// activation batch delivers its buffered output before the batch is
 		// retired — an operation can never complete (and close its consumers'
@@ -356,7 +485,16 @@ func (o *Operation) claimClosesLocked() []int {
 
 // process runs the operator on a batch. Panics inside operators are engine
 // bugs and propagate; data errors are recorded and stop further emission.
-func (o *Operation) process(qi int, batch []Activation, em emitter) {
+//
+// When the operator vectorizes (batchOp set and NoVectorize off), runs of
+// consecutive pipelined tuple activations are gathered into the worker's tup
+// scratch and handed to OnBatch in one call; triggers still dispatch
+// individually. The emitted counter is accumulated locally and published
+// once per batch — one atomic add instead of one per tuple — and the abort
+// flag is polled once per run, so cancellation latency stays bounded by one
+// internal-cache batch either way. Activation counts are untouched: each
+// tuple was already counted when its activation was acquired.
+func (o *Operation) process(qi int, batch []Activation, we *workerEmit, tup []relation.Tuple) {
 	ctx := o.ctxs[qi]
 	o.setups[qi].Do(func() {
 		o.stats.Setups.Add(1)
@@ -364,27 +502,62 @@ func (o *Operation) process(qi int, batch []Activation, em emitter) {
 			o.fail(err)
 		}
 	})
-	emit := func(t relation.Tuple) {
-		o.stats.Emitted.Add(1)
-		em.emit(qi, t)
+	we.qi, we.emitted = qi, 0
+	o.dispatch(ctx, batch, we.fn, tup)
+	we.flushRun()
+	if we.emitted > 0 {
+		o.stats.Emitted.Add(we.emitted)
 	}
-	for _, a := range batch {
+}
+
+// dispatch walks one activation batch, handing runs of pipelined tuples to
+// the vectorized path and everything else to the scalar one. Errors are
+// recorded via fail and stop the batch.
+func (o *Operation) dispatch(ctx *operator.Context, batch []Activation, emit operator.Emit, tup []relation.Tuple) {
+	bo := o.batchOp
+	if o.noVectorize {
+		bo = nil
+	}
+	for i := 0; i < len(batch); {
 		if o.abortFlag.Load() {
 			return
 		}
-		var err error
-		switch {
-		case a.IsPartial():
-			err = o.op.OnTrigger(chunkView(ctx, a.Lo, a.Hi), emit)
-		case a.IsTrigger():
-			err = o.op.OnTrigger(ctx, emit)
-		default:
-			err = o.op.OnTuple(ctx, a.Tuple, emit)
+		a := batch[i]
+		if a.Tuple == nil {
+			var err error
+			if a.IsPartial() {
+				err = o.op.OnTrigger(chunkView(ctx, int(a.Lo), int(a.Hi)), emit)
+			} else {
+				err = o.op.OnTrigger(ctx, emit)
+			}
+			if err != nil {
+				o.fail(err)
+				return
+			}
+			i++
+			continue
 		}
-		if err != nil {
+		if bo == nil {
+			if err := o.op.OnTuple(ctx, a.Tuple, emit); err != nil {
+				o.fail(err)
+				return
+			}
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(batch) && batch[j].Tuple != nil {
+			j++
+		}
+		tup = tup[:0]
+		for _, b := range batch[i:j] {
+			tup = append(tup, b.Tuple)
+		}
+		if err := bo.OnBatch(ctx, tup, emit); err != nil {
 			o.fail(err)
 			return
 		}
+		i = j
 	}
 }
 
@@ -423,7 +596,7 @@ func (o *Operation) InjectTriggers(grain int) {
 				if hi > span {
 					hi = span
 				}
-				batch = append(batch, Activation{Lo: lo, Hi: hi})
+				batch = append(batch, Activation{Lo: int32(lo), Hi: int32(hi)})
 			}
 			q.PushBatch(batch)
 		}
@@ -458,12 +631,16 @@ func (o *Operation) runCloses(instances []int, em emitter) {
 				o.fail(err)
 			}
 		})
+		var emitted int64
 		emit := func(t relation.Tuple) {
-			o.stats.Emitted.Add(1)
+			emitted++
 			em.emit(qi, t)
 		}
 		if err := o.op.OnClose(ctx, emit); err != nil {
 			o.fail(err)
+		}
+		if emitted > 0 {
+			o.stats.Emitted.Add(emitted)
 		}
 	}
 	if len(instances) == 0 {

@@ -26,8 +26,11 @@ import (
 type Activation struct {
 	Tuple relation.Tuple
 	// Lo and Hi bound a partial trigger; both zero for a whole-fragment
-	// trigger.
-	Lo, Hi int
+	// trigger. int32 keeps the struct at 32 bytes — activations are copied
+	// through route buffers and queue rings on every pipelined hop, so their
+	// size is data-plane bandwidth. Fragments are bounded well below 2^31
+	// tuples.
+	Lo, Hi int32
 }
 
 // IsTrigger reports whether the activation is a control activation.
@@ -46,9 +49,13 @@ type Queue struct {
 	mu      sync.Mutex
 	notFull *sync.Cond
 
-	buf   []Activation
-	head  int
-	count int
+	// buf is the ring storage. It starts small and doubles on demand up to
+	// capacity — a queue's backpressure bound — so idle instances (and the
+	// many queues of a high-degree plan) never pay for their worst case.
+	buf      []Activation
+	capacity int
+	head     int
+	count    int
 	// length mirrors count for lock-free readers: the consumption
 	// strategies scan every queue of an operation on each pick, so reading
 	// the length must not take the queue mutex (it is a heuristic — a
@@ -78,9 +85,30 @@ func NewQueue(capacity int) *Queue {
 	if capacity < 1 {
 		capacity = 1
 	}
-	q := &Queue{buf: make([]Activation, capacity), perTupleCost: 1}
+	q := &Queue{capacity: capacity, perTupleCost: 1}
 	q.notFull = sync.NewCond(&q.mu)
 	return q
+}
+
+// growLocked enlarges the ring storage (still bounded by capacity) so at
+// least one more activation fits. The occupied span is relinearized to the
+// front of the new ring. Growth goes straight from the initial size to the
+// full capacity: a queue that outgrew one batch worth of slack is a hot
+// queue, and intermediate doublings would just churn the allocator.
+func (q *Queue) growLocked() {
+	size := 64
+	if len(q.buf) > 0 {
+		size = q.capacity
+	}
+	if size > q.capacity {
+		size = q.capacity
+	}
+	buf := make([]Activation, size)
+	for i := 0; i < q.count; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
 }
 
 // SetEstimate sets the static LPT cost estimate (triggered queues). Call
@@ -100,7 +128,7 @@ func (q *Queue) SetPerTupleCost(c float64) {
 // last push, so this is an engine bug, not a runtime condition.
 func (q *Queue) Push(a Activation) {
 	q.mu.Lock()
-	for q.count == len(q.buf) && !q.closed && !q.aborted {
+	for q.count == q.capacity && !q.closed && !q.aborted {
 		q.notFull.Wait()
 	}
 	if q.aborted {
@@ -110,6 +138,9 @@ func (q *Queue) Push(a Activation) {
 	if q.closed {
 		q.mu.Unlock()
 		panic("core: push to closed queue")
+	}
+	if q.count == len(q.buf) {
+		q.growLocked()
 	}
 	q.buf[(q.head+q.count)%len(q.buf)] = a
 	q.count++
@@ -137,7 +168,7 @@ func (q *Queue) PushBatch(as []Activation) {
 	i := 0
 	for i < len(as) {
 		q.mu.Lock()
-		for q.count == len(q.buf) && !q.closed && !q.aborted {
+		for q.count == q.capacity && !q.closed && !q.aborted {
 			q.notFull.Wait()
 		}
 		if q.aborted {
@@ -148,10 +179,23 @@ func (q *Queue) PushBatch(as []Activation) {
 			q.mu.Unlock()
 			panic("core: push to closed queue")
 		}
-		for i < len(as) && q.count < len(q.buf) {
-			q.buf[(q.head+q.count)%len(q.buf)] = as[i]
-			q.count++
-			i++
+		// Copy in contiguous spans (the ring's wrap point) — memmove, not a
+		// per-element store loop — growing the ring storage as needed.
+		for i < len(as) && q.count < q.capacity {
+			if q.count == len(q.buf) {
+				q.growLocked()
+			}
+			tail := (q.head + q.count) % len(q.buf)
+			span := len(q.buf) - tail
+			if free := len(q.buf) - q.count; span > free {
+				span = free
+			}
+			if rem := len(as) - i; span > rem {
+				span = rem
+			}
+			copy(q.buf[tail:tail+span], as[i:i+span])
+			q.count += span
+			i += span
 		}
 		q.length.Store(int64(q.count))
 		notify := q.onPush
@@ -171,10 +215,18 @@ func (q *Queue) popBatch(max int, dst []Activation) []Activation {
 	if n > max {
 		n = max
 	}
-	for i := 0; i < n; i++ {
-		dst = append(dst, q.buf[q.head])
-		q.buf[q.head] = Activation{}
-		q.head = (q.head + 1) % len(q.buf)
+	// Drain in at most two contiguous spans — bulk copy plus bulk clear
+	// (clearing drops Tuple references so consumed activations do not pin
+	// their tuples until the slot is overwritten).
+	for rem := n; rem > 0; {
+		span := len(q.buf) - q.head
+		if span > rem {
+			span = rem
+		}
+		dst = append(dst, q.buf[q.head:q.head+span]...)
+		clear(q.buf[q.head : q.head+span])
+		q.head = (q.head + span) % len(q.buf)
+		rem -= span
 	}
 	q.count -= n
 	if n > 0 {

@@ -1,0 +1,113 @@
+package lera
+
+import "dbs3/internal/relation"
+
+// EvalBatch evaluates a bound predicate over a whole tuple batch and returns
+// the selection vector of passing positions — the vectorized form of
+// Predicate.Eval that the batch-native Filter uses. sel is a scratch buffer:
+// its contents are overwritten (callers pass sel[:0] and reuse the backing
+// array across batches).
+//
+// Known predicate shapes evaluate column-at-a-time with the column index and
+// comparison hoisted out of the loop; conjunctions narrow the selection
+// progressively so later terms only touch survivors. Anything else falls
+// back to per-tuple Eval, which keeps EvalBatch exactly equivalent to the
+// scalar path for every predicate.
+func EvalBatch(p Predicate, ts []relation.Tuple, sel relation.Selection) relation.Selection {
+	sel = sel[:0]
+	switch q := p.(type) {
+	case True:
+		return relation.SelectAll(sel, len(ts))
+	case ColConst:
+		if !q.bound {
+			panic("lera: EvalBatch on unbound predicate " + q.String())
+		}
+		if q.Val.Kind() == relation.TInt {
+			return appendCmpIntConst(sel, ts, q.idx, q.Op, q.Val.AsInt())
+		}
+		for i, t := range ts {
+			if cmpHolds(q.Op, t[q.idx].Compare(q.Val)) {
+				sel = append(sel, int32(i))
+			}
+		}
+		return sel
+	case ColCol:
+		if !q.bound {
+			panic("lera: EvalBatch on unbound predicate " + q.String())
+		}
+		li, ri := q.li, q.ri
+		for i, t := range ts {
+			if cmpHolds(q.Op, t[li].Compare(t[ri])) {
+				sel = append(sel, int32(i))
+			}
+		}
+		return sel
+	case And:
+		if len(q.Terms) == 0 {
+			return relation.SelectAll(sel, len(ts))
+		}
+		sel = EvalBatch(q.Terms[0], ts, sel)
+		for _, term := range q.Terms[1:] {
+			// Refine in place: the write index never passes the read index.
+			kept := sel[:0]
+			for _, i := range sel {
+				if term.Eval(ts[i]) {
+					kept = append(kept, i)
+				}
+			}
+			sel = kept
+		}
+		return sel
+	default:
+		for i, t := range ts {
+			if p.Eval(t) {
+				sel = append(sel, int32(i))
+			}
+		}
+		return sel
+	}
+}
+
+// appendCmpIntConst is the integer column-vs-constant kernel: one tight loop
+// per operator with the comparison branch predictable across the batch.
+func appendCmpIntConst(sel relation.Selection, ts []relation.Tuple, idx int, op CmpOp, c int64) relation.Selection {
+	switch op {
+	case EQ:
+		for i, t := range ts {
+			if t[idx].AsInt() == c {
+				sel = append(sel, int32(i))
+			}
+		}
+	case NE:
+		for i, t := range ts {
+			if t[idx].AsInt() != c {
+				sel = append(sel, int32(i))
+			}
+		}
+	case LT:
+		for i, t := range ts {
+			if t[idx].AsInt() < c {
+				sel = append(sel, int32(i))
+			}
+		}
+	case LE:
+		for i, t := range ts {
+			if t[idx].AsInt() <= c {
+				sel = append(sel, int32(i))
+			}
+		}
+	case GT:
+		for i, t := range ts {
+			if t[idx].AsInt() > c {
+				sel = append(sel, int32(i))
+			}
+		}
+	case GE:
+		for i, t := range ts {
+			if t[idx].AsInt() >= c {
+				sel = append(sel, int32(i))
+			}
+		}
+	}
+	return sel
+}

@@ -54,6 +54,64 @@ type Operator interface {
 	OnClose(ctx *Context, emit Emit) error
 }
 
+// BatchOperator is an optional extension of Operator: the engine hands
+// operators implementing it whole runs of pipelined tuple activations in one
+// call (bounded by the internal cache size), instead of unpacking the batch
+// into per-tuple OnTuple calls. Implementations process the batch
+// vectorized — selection vectors, one key-hash pass, one lock epoch — but
+// must stay observably equivalent to the per-tuple path: same emitted
+// multiset, same emission semantics (emit may block on backpressure), and no
+// retention of the tuples slice after return (it is worker-owned scratch;
+// the Tuples inside it are immutable and may be kept).
+//
+// Operators that do not implement BatchOperator keep working unchanged: the
+// engine falls back to the per-tuple OnTuple loop.
+type BatchOperator interface {
+	Operator
+	// OnBatch processes a run of pipelined tuples. Equivalent to calling
+	// OnTuple for each tuple in order; an error stops the batch (tuples
+	// before the failure may already have emitted).
+	OnBatch(ctx *Context, tuples []relation.Tuple, emit Emit) error
+}
+
+// batchScratch holds the per-batch working buffers of vectorized operators
+// (key hashes, selection vectors). Pooled so the hot path allocates nothing
+// per batch without per-operator-instance state: any pool thread can run any
+// instance, so the scratch cannot live on the Context without locking.
+type batchScratch struct {
+	keys []uint64
+	sel  relation.Selection
+	// arena backs batch-built result tuples (join concatenations): values
+	// accumulate into one chunk that is handed out as capped sub-slices, so
+	// a run of results costs one allocation per ~chunk instead of one per
+	// tuple. Emitted tuples keep their chunk alive; the scratch only ever
+	// appends past them, never rewrites.
+	arena []relation.Value
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// arenaChunk is the value capacity of one concat arena chunk.
+const arenaChunk = 4096
+
+// concat builds b ++ t in the scratch arena. The returned tuple is capped to
+// its own span — later appends can never write into it — and remains valid
+// after the scratch returns to the pool.
+func (sc *batchScratch) concat(b, t relation.Tuple) relation.Tuple {
+	need := len(b) + len(t)
+	if cap(sc.arena)-len(sc.arena) < need {
+		size := arenaChunk
+		if need > size {
+			size = need
+		}
+		sc.arena = make([]relation.Value, 0, size)
+	}
+	off := len(sc.arena)
+	sc.arena = append(sc.arena, b...)
+	sc.arena = append(sc.arena, t...)
+	return relation.Tuple(sc.arena[off:len(sc.arena):len(sc.arena)])
+}
+
 // nopClose is embedded by operators with nothing to flush.
 type nopClose struct{}
 
@@ -98,6 +156,21 @@ func (f *Filter) OnTuple(_ *Context, t relation.Tuple, emit Emit) error {
 	return nil
 }
 
+// OnBatch implements BatchOperator: the predicate is evaluated over the
+// whole batch into a selection vector (column index and comparison hoisted
+// out of the loop, conjunctions narrowing progressively), then only the
+// survivors are emitted.
+func (f *Filter) OnBatch(_ *Context, ts []relation.Tuple, emit Emit) error {
+	sc := scratchPool.Get().(*batchScratch)
+	sel := lera.EvalBatch(f.Pred, ts, sc.sel)
+	for _, i := range sel {
+		emit(ts[i])
+	}
+	sc.sel = sel
+	scratchPool.Put(sc)
+	return nil
+}
+
 // Transmit forwards tuples downstream; redistribution happens on the edge
 // (the engine routes each emitted tuple by hash). Bound transmits are
 // triggered and read their fragment; pipelined transmits re-route a stream.
@@ -120,6 +193,14 @@ func (tr *Transmit) OnTuple(_ *Context, t relation.Tuple, emit Emit) error {
 	return nil
 }
 
+// OnBatch implements BatchOperator.
+func (tr *Transmit) OnBatch(_ *Context, ts []relation.Tuple, emit Emit) error {
+	for _, t := range ts {
+		emit(t)
+	}
+	return nil
+}
+
 // Map projects tuples onto a column subset.
 type Map struct {
 	nopSetup
@@ -133,6 +214,14 @@ func (m *Map) OnTrigger(*Context, Emit) error { return errNoTrigger("map") }
 // OnTuple implements Operator.
 func (m *Map) OnTuple(_ *Context, t relation.Tuple, emit Emit) error {
 	emit(t.Project(m.Cols))
+	return nil
+}
+
+// OnBatch implements BatchOperator.
+func (m *Map) OnBatch(_ *Context, ts []relation.Tuple, emit Emit) error {
+	for _, t := range ts {
+		emit(t.Project(m.Cols))
+	}
 	return nil
 }
 
@@ -162,6 +251,16 @@ func (s *Store) OnTuple(ctx *Context, t relation.Tuple, _ Emit) error {
 	return nil
 }
 
+// OnBatch implements BatchOperator: one lock acquire appends the whole run
+// (the batch slice is scratch; the appended Tuples are immutable and safely
+// retained).
+func (s *Store) OnBatch(ctx *Context, ts []relation.Tuple, _ Emit) error {
+	s.mu.Lock()
+	s.results[ctx.Instance] = append(s.results[ctx.Instance], ts...)
+	s.mu.Unlock()
+	return nil
+}
+
 // Results returns the materialized fragments. Call only after execution
 // completes.
 func (s *Store) Results() [][]relation.Tuple {
@@ -182,6 +281,11 @@ type Sink struct {
 	// Push delivers one result tuple; it must be safe for concurrent calls
 	// (any pool thread can execute any instance's activation).
 	Push func(t relation.Tuple) error
+	// PushBatch, when set, delivers a whole run of tuples in one call (one
+	// sink synchronization per batch instead of per tuple). Same contract as
+	// Push plus BatchOperator's: the slice is scratch and must not be
+	// retained after return.
+	PushBatch func(ts []relation.Tuple) error
 }
 
 // OnTrigger implements Operator.
@@ -192,18 +296,81 @@ func (s *Sink) OnTuple(_ *Context, t relation.Tuple, _ Emit) error {
 	return s.Push(t)
 }
 
+// OnBatch implements BatchOperator.
+func (s *Sink) OnBatch(_ *Context, ts []relation.Tuple, _ Emit) error {
+	if s.PushBatch != nil {
+		return s.PushBatch(ts)
+	}
+	for _, t := range ts {
+		if err := s.Push(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Join and group-by keys are 64-bit hashes computed directly over the key
-// columns (relation.Tuple.HashOn): no projected tuple, no canonical string —
-// nothing is materialized or allocated per probed/grouped tuple. Distinct
-// keys can collide on the hash, so every hash-equal candidate is verified
-// against the actual key columns (joinKeysEqual / groupMatches) before it
-// joins or accumulates.
+// columns: no projected tuple, no canonical string — nothing is materialized
+// or allocated per probed/grouped tuple. Distinct keys can collide on the
+// hash, so every hash-equal candidate is verified against the actual key
+// columns (joinKeysEqual / groupMatches) before it joins or accumulates.
+//
+// The hash only needs to be consistent *within* one operator instance (build
+// vs probe, accumulate vs lookup) — it never has to match the partitioning
+// hash — so the hot single-int-key case uses a 3-round multiply/xorshift
+// mixer instead of byte-at-a-time FNV (relation.Tuple.HashOn), which the
+// scalar and batch paths below both go through.
+
+// mix64 is the splitmix64 finalizer: full avalanche over a 64-bit key in six
+// data-independent-latency ops.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// hashKey computes the join/group key hash of one tuple.
+func hashKey(t relation.Tuple, cols []int) uint64 {
+	if len(cols) == 1 {
+		if v := t[cols[0]]; v.Kind() == relation.TInt {
+			return mix64(uint64(v.AsInt()))
+		}
+	}
+	return t.HashOn(cols)
+}
+
+// hashKeys is the batch form of hashKey: one bounds-checked pass over the
+// run, appending to dst. Per-tuple results are identical to hashKey.
+func hashKeys(ts []relation.Tuple, cols []int, dst []uint64) []uint64 {
+	if len(cols) == 1 {
+		c := cols[0]
+		for _, t := range ts {
+			if v := t[c]; v.Kind() == relation.TInt {
+				dst = append(dst, mix64(uint64(v.AsInt())))
+			} else {
+				dst = append(dst, t.HashOn(cols))
+			}
+		}
+		return dst
+	}
+	return relation.HashTuplesOn(ts, cols, dst)
+}
 
 // buildIndex is the per-instance state of hash and temp-index joins.
 type buildIndex struct {
-	// hash groups build tuples by join-key hash (HashJoin); the probe
-	// verifies each bucket entry against the real key columns.
-	hash map[uint64][]relation.Tuple
+	// HashJoin: a flat chained hash table over build-key hashes. slots maps
+	// hash&mask to a 1-based entry index; entries with colliding slots chain
+	// through next. Four flat allocations total (no per-bucket slices), and
+	// probing is two array loads per visited entry — the probe verifies each
+	// hash-equal entry against the real key columns.
+	mask  uint64
+	slots []int32
+	next  []int32
+	keys  []uint64
+	build []relation.Tuple
 	// sorted holds build tuples ordered by key hash with a parallel hash
 	// slice for binary search (TempIndex — DBS3 "builds indexes on the
 	// fly"); probes verify the hash-equal run against the key columns.
@@ -227,10 +394,24 @@ func (j *Join) Setup(ctx *Context) error {
 	case lera.NestedLoop:
 		// No auxiliary structure: probing scans the fragment.
 	case lera.HashJoin:
-		idx := &buildIndex{hash: make(map[uint64][]relation.Tuple, len(ctx.Build))}
-		for _, b := range ctx.Build {
-			k := b.HashOn(j.BuildKey)
-			idx.hash[k] = append(idx.hash[k], b)
+		n := len(ctx.Build)
+		size := 8
+		for size < 2*n {
+			size *= 2
+		}
+		idx := &buildIndex{
+			mask:  uint64(size - 1),
+			slots: make([]int32, size),
+			next:  make([]int32, n),
+			keys:  make([]uint64, n),
+			build: ctx.Build,
+		}
+		for i, b := range ctx.Build {
+			k := hashKey(b, j.BuildKey)
+			s := k & idx.mask
+			idx.keys[i] = k
+			idx.next[i] = idx.slots[s]
+			idx.slots[s] = int32(i + 1)
 		}
 		ctx.State = idx
 	case lera.TempIndex:
@@ -241,7 +422,7 @@ func (j *Join) Setup(ctx *Context) error {
 		keys := make([]uint64, n)
 		order := make([]int, n)
 		for i, b := range ctx.Build {
-			keys[i] = b.HashOn(j.BuildKey)
+			keys[i] = hashKey(b, j.BuildKey)
 			order[i] = i
 		}
 		sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
@@ -269,14 +450,17 @@ func (j *Join) probe(ctx *Context, t relation.Tuple, emit Emit) {
 		}
 	case lera.HashJoin:
 		idx := ctx.State.(*buildIndex)
-		for _, b := range idx.hash[t.HashOn(j.ProbeKey)] {
-			if joinKeysEqual(b, t, j.BuildKey, j.ProbeKey) {
-				emit(b.Concat(t))
+		k := hashKey(t, j.ProbeKey)
+		for e := idx.slots[k&idx.mask]; e != 0; e = idx.next[e-1] {
+			if idx.keys[e-1] == k {
+				if b := idx.build[e-1]; joinKeysEqual(b, t, j.BuildKey, j.ProbeKey) {
+					emit(b.Concat(t))
+				}
 			}
 		}
 	case lera.TempIndex:
 		idx := ctx.State.(*buildIndex)
-		k := t.HashOn(j.ProbeKey)
+		k := hashKey(t, j.ProbeKey)
 		keys := idx.sortedKeys
 		i := sort.Search(len(keys), func(m int) bool { return keys[m] >= k })
 		for ; i < len(keys) && keys[i] == k; i++ {
@@ -314,6 +498,53 @@ func (j *Join) OnTuple(ctx *Context, t relation.Tuple, emit Emit) error {
 
 // OnClose implements Operator.
 func (j *Join) OnClose(*Context, Emit) error { return nil }
+
+// OnBatch implements BatchOperator: the whole probe run is key-hashed in one
+// pass (one bounds-checked loop over the key columns, no per-call overhead
+// interleaved with probing), then probed against the build structure hash-
+// first. Nested loop has no key structure to amortize; it scans per tuple
+// exactly like the per-tuple path.
+func (j *Join) OnBatch(ctx *Context, ts []relation.Tuple, emit Emit) error {
+	switch j.Algo {
+	case lera.HashJoin:
+		idx := ctx.State.(*buildIndex)
+		sc := scratchPool.Get().(*batchScratch)
+		keys := hashKeys(ts, j.ProbeKey, sc.keys[:0])
+		for i, t := range ts {
+			k := keys[i]
+			for e := idx.slots[k&idx.mask]; e != 0; e = idx.next[e-1] {
+				if idx.keys[e-1] == k {
+					if b := idx.build[e-1]; joinKeysEqual(b, t, j.BuildKey, j.ProbeKey) {
+						emit(sc.concat(b, t))
+					}
+				}
+			}
+		}
+		sc.keys = keys
+		scratchPool.Put(sc)
+	case lera.TempIndex:
+		idx := ctx.State.(*buildIndex)
+		sc := scratchPool.Get().(*batchScratch)
+		keys := hashKeys(ts, j.ProbeKey, sc.keys[:0])
+		sorted := idx.sortedKeys
+		for i, t := range ts {
+			k := keys[i]
+			m := sort.Search(len(sorted), func(n int) bool { return sorted[n] >= k })
+			for ; m < len(sorted) && sorted[m] == k; m++ {
+				if b := idx.sorted[m]; joinKeysEqual(b, t, j.BuildKey, j.ProbeKey) {
+					emit(sc.concat(b, t))
+				}
+			}
+		}
+		sc.keys = keys
+		scratchPool.Put(sc)
+	default:
+		for _, t := range ts {
+			j.probe(ctx, t, emit)
+		}
+	}
+	return nil
+}
 
 // aggState is one group's accumulator.
 type aggState struct {
@@ -359,10 +590,34 @@ func (a *Aggregate) OnTuple(ctx *Context, t relation.Tuple, _ Emit) error {
 	// Group lookup by key-column hash with chained collision buckets: the
 	// per-tuple fast path hashes in place and allocates nothing; only a
 	// group's first tuple materializes the group key (Project).
-	key := t.HashOn(a.GroupBy)
+	key := hashKey(t, a.GroupBy)
 	ctx.Mu.Lock()
 	defer ctx.Mu.Unlock()
+	a.accumulateLocked(ctx.State.(map[uint64][]*aggState), key, t)
+	return nil
+}
+
+// OnBatch implements BatchOperator: the whole run is group-hashed outside
+// the instance lock, then accumulated under a single lock epoch — one
+// acquire per batch where the per-tuple path pays one per tuple, which is
+// the contention the execution model's any-thread-any-instance rule creates
+// on aggregates.
+func (a *Aggregate) OnBatch(ctx *Context, ts []relation.Tuple, _ Emit) error {
+	sc := scratchPool.Get().(*batchScratch)
+	keys := hashKeys(ts, a.GroupBy, sc.keys[:0])
+	ctx.Mu.Lock()
 	groups := ctx.State.(map[uint64][]*aggState)
+	for i, t := range ts {
+		a.accumulateLocked(groups, keys[i], t)
+	}
+	ctx.Mu.Unlock()
+	sc.keys = keys
+	scratchPool.Put(sc)
+	return nil
+}
+
+// accumulateLocked folds one tuple into its group; the caller holds ctx.Mu.
+func (a *Aggregate) accumulateLocked(groups map[uint64][]*aggState, key uint64, t relation.Tuple) {
 	var st *aggState
 	for _, cand := range groups[key] {
 		if groupMatches(cand.group, t, a.GroupBy) {
@@ -391,7 +646,6 @@ func (a *Aggregate) OnTuple(ctx *Context, t relation.Tuple, _ Emit) error {
 		}
 		st.seen = true
 	}
-	return nil
 }
 
 // OnClose implements Operator: emits one tuple per group.

@@ -103,6 +103,10 @@ type Mod struct {
 	col    int
 	name   string
 	degree int
+	// mask is degree-1 when degree is a power of two, else 0. k&mask equals
+	// the non-negative modulo for any signed k (two's complement), replacing
+	// the divide in the per-tuple routing path.
+	mask int64
 }
 
 // NewMod builds a modulo partitioner on the named integer column.
@@ -117,7 +121,11 @@ func NewMod(schema *relation.Schema, key string, degree int) (*Mod, error) {
 	if schema.Column(c).Type != relation.TInt {
 		return nil, fmt.Errorf("partition: modulo partitioning needs an integer column, %q is %s", key, schema.Column(c).Type)
 	}
-	return &Mod{col: c, name: key, degree: degree}, nil
+	m := &Mod{col: c, name: key, degree: degree}
+	if degree&(degree-1) == 0 {
+		m.mask = int64(degree - 1)
+	}
+	return m, nil
 }
 
 // Degree implements Func.
@@ -140,6 +148,9 @@ func (m *Mod) FragmentOfKey(key []relation.Value) int {
 }
 
 func (m *Mod) fragmentOfInt(k int64) int {
+	if m.mask != 0 {
+		return int(k & m.mask)
+	}
 	v := k % int64(m.degree)
 	if v < 0 {
 		v += int64(m.degree)
@@ -280,3 +291,45 @@ func (r *RoundRobin) FragmentOfCols(relation.Tuple, []int) int {
 
 // Signature implements Func.
 func (r *RoundRobin) Signature() string { return fmt.Sprintf("rr/%d", r.degree) }
+
+// BatchFunc is an optional Func extension for the vectorized data plane: a
+// partitioner implementing it routes a whole run of tuples in one call,
+// appending one destination per tuple to dst. Results are identical to
+// calling FragmentOfCols per tuple — batch routing is an amortization, not a
+// different placement.
+type BatchFunc interface {
+	Func
+	FragmentsOfCols(ts []relation.Tuple, cols []int, dst []int32) []int32
+}
+
+// FragmentsOfCols implements BatchFunc.
+func (h *Hash) FragmentsOfCols(ts []relation.Tuple, cols []int, dst []int32) []int32 {
+	degree := uint64(h.degree)
+	for _, t := range ts {
+		dst = append(dst, int32(t.HashOn(cols)%degree))
+	}
+	return dst
+}
+
+// FragmentsOfCols implements BatchFunc.
+func (m *Mod) FragmentsOfCols(ts []relation.Tuple, cols []int, dst []int32) []int32 {
+	if len(cols) != 1 {
+		panic(fmt.Sprintf("partition: modulo partitioning takes one key column, got %d", len(cols)))
+	}
+	c := cols[0]
+	if mask := m.mask; mask != 0 {
+		for _, t := range ts {
+			dst = append(dst, int32(t[c].AsInt()&mask))
+		}
+		return dst
+	}
+	degree := int64(m.degree)
+	for _, t := range ts {
+		v := t[c].AsInt() % degree
+		if v < 0 {
+			v += degree
+		}
+		dst = append(dst, int32(v))
+	}
+	return dst
+}

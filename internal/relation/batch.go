@@ -1,0 +1,41 @@
+package relation
+
+// Batch-of-tuples helpers for the vectorized operator path. The engine hands
+// operators whole activation batches (bounded by the internal cache size);
+// operators that process them column-at-a-time use a selection vector to
+// carry the surviving positions between evaluation steps instead of copying
+// tuples.
+
+// Selection is a selection vector: positions into a tuple batch, in
+// ascending order. Vectorized predicate evaluation produces one; downstream
+// steps iterate it instead of re-testing every tuple.
+type Selection []int32
+
+// SelectAll appends every position of an n-tuple batch to sel.
+func SelectAll(sel Selection, n int) Selection {
+	for i := 0; i < n; i++ {
+		sel = append(sel, int32(i))
+	}
+	return sel
+}
+
+// HashTuplesOn appends the HashOn key hash of each tuple to dst — the batch
+// form of Tuple.HashOn, used by vectorized joins and aggregates to hash a
+// whole probe/group batch before touching any shared state. The hashes are
+// bit-identical to per-tuple HashOn, so batch and per-tuple paths key the
+// same hash tables.
+func HashTuplesOn(ts []Tuple, cols []int, dst []uint64) []uint64 {
+	if len(cols) == 1 {
+		c := cols[0]
+		const prime = 1099511628211
+		for _, t := range ts {
+			h := uint64(14695981039346656037) ^ t[c].Hash()
+			dst = append(dst, h*prime)
+		}
+		return dst
+	}
+	for _, t := range ts {
+		dst = append(dst, t.HashOn(cols))
+	}
+	return dst
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 )
 
 // Client is a minimal Go client for the wire protocol — the reference
@@ -18,6 +19,12 @@ type Client struct {
 	Base string
 	// HTTP is the underlying client (http.DefaultClient when nil).
 	HTTP *http.Client
+	// Columnar asks the server (via the Accept header) for the binary
+	// columnar result encoding on every query; a per-request Options.Wire
+	// still overrides it. RowStream decodes whichever encoding the
+	// response declares, so flipping this changes bytes on the wire, not
+	// the rows the caller sees.
+	Columnar bool
 }
 
 func (c *Client) http() *http.Client {
@@ -38,6 +45,9 @@ func (c *Client) post(ctx context.Context, path string, body any) (*http.Respons
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.Columnar {
+		req.Header.Set("Accept", ContentTypeColumnar)
+	}
 	return c.http().Do(req)
 }
 
@@ -123,7 +133,7 @@ func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	return &out, nil
 }
 
-// RowStream iterates a streamed NDJSON result, cursor-style:
+// RowStream iterates a streamed result, cursor-style:
 //
 //	stream, err := client.Query(ctx, sql, nil, nil)
 //	defer stream.Close()
@@ -132,13 +142,15 @@ func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 //	}
 //	if err := stream.Err(); err != nil { ... }
 //
-// Rows arrive as the server flushes chunks, so Next can return the first
-// row while the query is still executing server-side. Closing mid-stream
-// closes the HTTP body, which disconnects the request and cancels the query
-// on the server.
+// The stream decodes whichever encoding the response's Content-Type
+// declares — NDJSON or binary columnar — into identical rows. Rows arrive
+// as the server flushes chunks, so Next can return the first row while the
+// query is still executing server-side. Closing mid-stream closes the HTTP
+// body, which disconnects the request and cancels the query on the server.
 type RowStream struct {
 	resp   *http.Response
-	dec    *json.Decoder
+	dec    *json.Decoder   // NDJSON decode state (nil for columnar streams)
+	col    *colFrameReader // columnar decode state (nil for NDJSON streams)
 	header *Header
 	buf    [][]any
 	cur    []any
@@ -147,10 +159,14 @@ type RowStream struct {
 	done   bool
 }
 
-// newRowStream validates the response and reads the header message.
+// newRowStream validates the response, dispatches on its declared encoding
+// and reads the header message.
 func newRowStream(resp *http.Response) (*RowStream, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, errorFrom(resp)
+	}
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), ContentTypeColumnar) {
+		return newColumnarRowStream(resp)
 	}
 	dec := json.NewDecoder(resp.Body)
 	dec.UseNumber()
@@ -170,6 +186,31 @@ func newRowStream(resp *http.Response) (*RowStream, error) {
 	return &RowStream{resp: resp, dec: dec, header: msg.Header}, nil
 }
 
+// newColumnarRowStream reads the opening frame of a binary columnar stream.
+func newColumnarRowStream(resp *http.Response) (*RowStream, error) {
+	fr := newColFrameReader(resp.Body)
+	kind, payload, err := fr.readFrame()
+	if err != nil {
+		resp.Body.Close()
+		return nil, fmt.Errorf("server: reading stream header: %w", err)
+	}
+	switch kind {
+	case frameError:
+		resp.Body.Close()
+		return nil, fmt.Errorf("server: %s", payload)
+	case frameHeader:
+		var h Header
+		if err := json.Unmarshal(payload, &h); err != nil {
+			resp.Body.Close()
+			return nil, fmt.Errorf("server: decoding stream header: %w", err)
+		}
+		return &RowStream{resp: resp, col: fr, header: &h}, nil
+	default:
+		resp.Body.Close()
+		return nil, fmt.Errorf("server: stream did not open with a header")
+	}
+}
+
 // Header returns the stream's opening message.
 func (s *RowStream) Header() *Header { return s.header }
 
@@ -182,27 +223,21 @@ func (s *RowStream) Next() bool {
 		return false
 	}
 	for len(s.buf) == 0 {
-		var msg Message
-		if err := s.dec.Decode(&msg); err != nil {
-			// Includes io.EOF before a done message: a truncated stream is
-			// an error, never silent completion.
-			s.fail(fmt.Errorf("server: stream truncated: %w", err))
-			return false
+		fetch := s.fetchNDJSON
+		if s.col != nil {
+			fetch = s.fetchColumnar
 		}
-		switch {
-		case msg.Error != "":
-			s.fail(fmt.Errorf("server: %s", msg.Error))
+		if !fetch() {
 			return false
-		case msg.Done != nil:
-			s.footer = msg.Done
-			s.finish()
-			return false
-		default:
-			s.buf = msg.Rows
 		}
 	}
 	raw := s.buf[0]
 	s.buf = s.buf[1:]
+	if s.col != nil {
+		// Columnar chunks decode straight to typed values.
+		s.cur = raw
+		return true
+	}
 	row, err := DecodeRow(s.header.Types, raw)
 	if err != nil {
 		s.fail(err)
@@ -210,6 +245,66 @@ func (s *RowStream) Next() bool {
 	}
 	s.cur = row
 	return true
+}
+
+// fetchNDJSON reads the next NDJSON message into the row buffer. It returns
+// false when the stream terminated (done, error, or truncation — the
+// terminal state is already recorded on s by then).
+func (s *RowStream) fetchNDJSON() bool {
+	var msg Message
+	if err := s.dec.Decode(&msg); err != nil {
+		// Includes io.EOF before a done message: a truncated stream is
+		// an error, never silent completion.
+		s.fail(fmt.Errorf("server: stream truncated: %w", err))
+		return false
+	}
+	switch {
+	case msg.Error != "":
+		s.fail(fmt.Errorf("server: %s", msg.Error))
+		return false
+	case msg.Done != nil:
+		s.footer = msg.Done
+		s.finish()
+		return false
+	default:
+		s.buf = msg.Rows
+		return true
+	}
+}
+
+// fetchColumnar reads the next binary frame into the row buffer, with the
+// same terminal contract as fetchNDJSON.
+func (s *RowStream) fetchColumnar() bool {
+	kind, payload, err := s.col.readFrame()
+	if err != nil {
+		s.fail(fmt.Errorf("server: stream truncated: %w", err))
+		return false
+	}
+	switch kind {
+	case frameError:
+		s.fail(fmt.Errorf("server: %s", payload))
+		return false
+	case frameDone:
+		var f Footer
+		if err := json.Unmarshal(payload, &f); err != nil {
+			s.fail(fmt.Errorf("server: decoding stream footer: %w", err))
+			return false
+		}
+		s.footer = &f
+		s.finish()
+		return false
+	case frameRows:
+		rows, err := decodeColChunk(s.header.Types, payload)
+		if err != nil {
+			s.fail(err)
+			return false
+		}
+		s.buf = rows
+		return true
+	default:
+		s.fail(fmt.Errorf("server: unexpected frame kind %q", kind))
+		return false
+	}
 }
 
 // Row returns the current row: one int64 or string per column.

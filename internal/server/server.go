@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -74,6 +75,12 @@ type Server struct {
 	nextID atomic.Int64
 	// expired counts statements removed by the idle-TTL sweep (lifetime).
 	expired atomic.Int64
+	// bytesWritten and rowsStreamed are lifetime result-stream counters
+	// (bytes on the wire after encoding, rows across all streams): together
+	// they put a number on what an encoding costs per row, which is how the
+	// NDJSON-vs-columnar tradeoff is observed on a live server.
+	bytesWritten atomic.Int64
+	rowsStreamed atomic.Int64
 	// now is the clock, a test seam for the TTL sweep.
 	now func() time.Time
 
@@ -225,13 +232,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	enc, err := negotiateWire(r, req.Options)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	opt := s.requestOptions(r, req.Options)
 	stmt, err := s.db.Prepare(req.SQL, &opt)
 	if err != nil {
 		http.Error(w, err.Error(), errorStatus(err))
 		return
 	}
-	s.stream(w, r, stmt, args)
+	s.stream(w, r, stmt, args, enc)
 }
 
 // handlePrepare compiles a statement server-side and registers it under an
@@ -347,6 +359,11 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	enc, err := negotiateWire(r, req.Options)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	stmt := entry.stmt
 	if opt := overlayOptions(entry.opt, r, req.Options); opt != entry.opt {
 		fresh, err := s.db.Prepare(entry.info.SQL, &opt)
@@ -356,7 +373,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		}
 		stmt = fresh
 	}
-	s.stream(w, r, stmt, args)
+	s.stream(w, r, stmt, args, enc)
 }
 
 // handleStmtClose discards a prepared statement.
@@ -402,16 +419,54 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PlanCacheMisses:       misses,
 		Statements:            open,
 		StatementsExpired:     expired,
+		BytesWritten:          s.bytesWritten.Load(),
+		RowsStreamed:          s.rowsStreamed.Load(),
 		Relations:             s.db.Relations(),
 	})
 }
 
-// stream executes stmt under the request's context and writes the NDJSON
-// result stream. The request context is the cancellation path: a client
-// that disconnects mid-stream cancels the query, the engine unwinds, and
-// Admission.Finish returns its threads to the shared budget — the deferred
-// Close is a no-op by then.
-func (s *Server) stream(w http.ResponseWriter, r *http.Request, stmt *dbs3.Stmt, args []any) {
+// negotiateWire picks the result-stream encoding for one request: the wire
+// Options field wins, then the Accept header, then the NDJSON default. An
+// unknown wire name is the client's error.
+func negotiateWire(r *http.Request, wire *Options) (string, error) {
+	if wire != nil && wire.Wire != "" {
+		switch wire.Wire {
+		case "ndjson":
+			return contentTypeNDJSON, nil
+		case "columnar":
+			return ContentTypeColumnar, nil
+		default:
+			return "", fmt.Errorf("server: unknown wire encoding %q (want ndjson or columnar)", wire.Wire)
+		}
+	}
+	if strings.Contains(r.Header.Get("Accept"), ContentTypeColumnar) {
+		return ContentTypeColumnar, nil
+	}
+	return contentTypeNDJSON, nil
+}
+
+// countingWriter counts the encoded bytes a stream puts on the wire (it sits
+// under the bufio.Writer, so it sees coalesced writes, not per-frame ones)
+// and feeds the server's lifetime counter as they happen — a stats poll
+// during a long stream sees its progress, not zero.
+type countingWriter struct {
+	w     io.Writer
+	total *atomic.Int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.total.Add(int64(n))
+	return n, err
+}
+
+// stream executes stmt under the request's context and writes the result
+// stream in the negotiated encoding (contentType: NDJSON or binary
+// columnar; see colwire.go). The request context is the cancellation path:
+// a client that disconnects mid-stream cancels the query, the engine
+// unwinds, and Admission.Finish returns its threads to the shared budget —
+// the deferred Close is a no-op by then.
+func (s *Server) stream(w http.ResponseWriter, r *http.Request, stmt *dbs3.Stmt, args []any, contentType string) {
 	rows, err := stmt.QueryContext(r.Context(), args...)
 	if err != nil {
 		http.Error(w, err.Error(), errorStatus(err))
@@ -419,11 +474,11 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, stmt *dbs3.Stmt,
 	}
 	defer rows.Close()
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Type", contentType)
 	w.Header().Set("X-Accel-Buffering", "no") // proxies must not re-buffer the stream
 
-	// NDJSON frames coalesce in a sized bufio.Writer: a wide streamed result
-	// pays one connection Write per buffer fill instead of one per 64-row
+	// Frames coalesce in a sized bufio.Writer: a wide streamed result pays
+	// one connection Write per buffer fill instead of one per 64-row
 	// chunk. Streaming latency stays bounded: the header, the first row
 	// chunk and the terminal message flush immediately, and a background
 	// ticker flushes anything buffered at least every streamFlushInterval —
@@ -431,8 +486,13 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, stmt *dbs3.Stmt,
 	// it blocks for the next chunk. wmu serializes the handler's writes with
 	// the ticker's flushes (neither bufio.Writer nor http.ResponseWriter is
 	// concurrency-safe).
-	bw := bufio.NewWriterSize(w, s.writeBuf)
-	enc := json.NewEncoder(bw)
+	bw := bufio.NewWriterSize(&countingWriter{w: w, total: &s.bytesWritten}, s.writeBuf)
+	var enc resultEncoder
+	if contentType == ContentTypeColumnar {
+		enc = &columnarEncoder{w: bw, types: rows.ColumnTypes()}
+	} else {
+		enc = &ndjsonEncoder{enc: json.NewEncoder(bw)}
+	}
 	flusher, _ := w.(http.Flusher)
 	var wmu sync.Mutex
 	dirty := false // buffered bytes not yet flushed; guarded by wmu
@@ -470,13 +530,13 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, stmt *dbs3.Stmt,
 		flushLocked()
 		wmu.Unlock()
 	}()
-	// encode writes one message; flush forces it (and anything buffered)
-	// out. Without flush the bytes leave when the buffer fills or the
-	// ticker fires.
-	encode := func(m Message, flush bool) error {
+	// write runs one encoder call under the write mutex; flush forces its
+	// bytes (and anything buffered) out. Without flush the bytes leave when
+	// the buffer fills or the ticker fires.
+	write := func(fn func() error, flush bool) error {
 		wmu.Lock()
 		defer wmu.Unlock()
-		err := enc.Encode(m)
+		err := fn()
 		if flush {
 			flushLocked()
 		} else {
@@ -486,23 +546,25 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, stmt *dbs3.Stmt,
 	}
 
 	cols := rows.Columns()
-	if err := encode(Message{Header: &Header{
+	hdr := &Header{
 		Columns:     cols,
 		Types:       rows.ColumnTypes(),
 		Threads:     rows.Threads(),
 		Utilization: rows.Utilization(),
-	}}, true); err != nil {
+	}
+	if err := write(func() error { return enc.header(hdr) }, true); err != nil {
 		return
 	}
 
 	var count int64
+	defer func() { s.rowsStreamed.Add(count) }()
 	firstChunk := true
 	chunk := make([][]any, 0, s.chunk)
 	emit := func() bool {
 		if len(chunk) == 0 {
 			return true
 		}
-		err := encode(Message{Rows: chunk}, firstChunk)
+		err := write(func() error { return enc.rows(chunk) }, firstChunk)
 		firstChunk = false
 		chunk = chunk[:0]
 		return err == nil
@@ -514,7 +576,7 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, stmt *dbs3.Stmt,
 			ptrs[i] = &row[i]
 		}
 		if err := rows.Scan(ptrs...); err != nil {
-			encode(Message{Error: err.Error()}, true)
+			write(func() error { return enc.fail(err.Error()) }, true)
 			return
 		}
 		chunk = append(chunk, row)
@@ -527,13 +589,14 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, stmt *dbs3.Stmt,
 		// The header is already on the wire, so the failure travels in-band;
 		// the missing done message tells a half-read client the stream is
 		// truncated, not complete.
-		encode(Message{Error: err.Error()}, true)
+		write(func() error { return enc.fail(err.Error()) }, true)
 		return
 	}
 	if !emit() {
 		return
 	}
-	encode(Message{Done: &Footer{RowCount: count, Threads: rows.Threads(), ChainThreads: rows.ChainThreads(), Operators: rows.Operators()}}, true)
+	foot := &Footer{RowCount: count, Threads: rows.Threads(), ChainThreads: rows.ChainThreads(), Operators: rows.Operators()}
+	write(func() error { return enc.done(foot) }, true)
 }
 
 // writeJSON writes one JSON response.

@@ -22,6 +22,11 @@
 //	{"rows":[[1],[2],[3]]}
 //	{"done":{"rowCount":3,"threads":3}}
 //
+// A client that asks for it (Accept header or options.wire: "columnar")
+// gets the same stream shape as length-prefixed binary frames with
+// column-major row chunks instead — a several-fold bytes-per-row saving on
+// wide results, and lossless for the full int64 range. See colwire.go.
+//
 // Cancellation is free: each query executes under its HTTP request's
 // context, so a client that disconnects mid-stream aborts the query and
 // returns its threads to the shared budget.
@@ -61,6 +66,10 @@ type Options struct {
 	// aggregation/projection, letting the manager renegotiate the query's
 	// thread reservation between the two chains (see dbs3.Options).
 	Materialize bool `json:"materialize,omitempty"`
+	// Wire selects the result-stream encoding: "ndjson" (default) or
+	// "columnar" (length-prefixed binary frames; see colwire.go). It
+	// overrides the Accept header; anything else is a 400.
+	Wire string `json:"wire,omitempty"`
 }
 
 // QueryRequest is the body of POST /query and POST /prepare (args are
@@ -152,6 +161,12 @@ type StatsResponse struct {
 	// from abandoned clients over the server's lifetime.
 	Statements        int   `json:"statements"`
 	StatementsExpired int64 `json:"statementsExpired"`
+	// BytesWritten and RowsStreamed are lifetime result-stream counters:
+	// encoded bytes put on the wire (across every encoding) and rows
+	// streamed. Their ratio is the observed bytes-per-row cost of the
+	// server's result encodings.
+	BytesWritten int64 `json:"bytesWritten"`
+	RowsStreamed int64 `json:"rowsStreamed"`
 	// Relations lists the served catalog.
 	Relations []string `json:"relations"`
 }

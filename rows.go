@@ -268,6 +268,32 @@ type rowSink struct {
 }
 
 func (s *rowSink) Push(t relation.Tuple) error {
+	select {
+	case s.ch <- rowOf(t):
+		return nil
+	case <-s.ctx.Done():
+		return s.ctx.Err()
+	}
+}
+
+// PushBatch implements core.RowBatchSink: the vectorized store path delivers
+// whole tuple runs here. Conversion happens before any channel send, so the
+// producing pool thread does its allocation work outside the backpressure
+// wait; each row still travels the bounded channel individually, keeping the
+// cursor's first-row latency and Close-abort semantics unchanged.
+func (s *rowSink) PushBatch(ts []relation.Tuple) error {
+	for _, t := range ts {
+		select {
+		case s.ch <- rowOf(t):
+		case <-s.ctx.Done():
+			return s.ctx.Err()
+		}
+	}
+	return nil
+}
+
+// rowOf converts one tuple to the cursor's plain-Go row form.
+func rowOf(t relation.Tuple) []any {
 	row := make([]any, len(t))
 	for i, v := range t {
 		if v.Kind() == relation.TInt {
@@ -276,12 +302,7 @@ func (s *rowSink) Push(t relation.Tuple) error {
 			row[i] = v.AsString()
 		}
 	}
-	select {
-	case s.ch <- row:
-		return nil
-	case <-s.ctx.Done():
-		return s.ctx.Err()
-	}
+	return row
 }
 
 // operatorStats snapshots per-operator counters after an execution settled.

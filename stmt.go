@@ -140,6 +140,9 @@ type Stmt struct {
 // the plan itself and keys the underlying plan cache. Repeated Prepare calls
 // for the same SQL and join algorithm share the compiled plan.
 func (db *Database) Prepare(sql string, opt *Options) (*Stmt, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	strat, err := opt.strategy()
 	if err != nil {
 		return nil, err
@@ -327,6 +330,7 @@ func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 		Strategy:     s.strat,
 		TriggerGrain: s.opt.Grain,
 		BatchGrain:   s.opt.BatchGrain,
+		NoVectorize:  s.opt.NoVectorize,
 		Utilization:  s.opt.Utilization,
 		StreamOutput: esql.OutputName,
 		Sink:         &rowSink{ctx: qctx, ch: ch},
