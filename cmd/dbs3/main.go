@@ -38,6 +38,21 @@
 //	    returns the threads to the budget. Data comes from the generated
 //	    demo relations and/or CSV files (-csv data.csv -csvkey col).
 //
+//	dbs3 coord -addr 127.0.0.1:8090 -nodes http://h1:8080,http://h2:8080 -token s3cret
+//	    Run the scatter-gather query coordinator over serve nodes started
+//	    with -shards N -shard i (and the same -token): the same wire
+//	    protocol as one node, but queries compile once, fan out to every
+//	    shard, and the partial streams merge at the coordinator — union
+//	    for selections/joins, group-wise merge aggregation for GROUP BY.
+//	    The coordinator polls each node's /stats and folds the other
+//	    nodes' measured load into every fan-out subquery's utilization,
+//	    extending the [Rahm93] feedback loop across machines.
+//
+//	dbs3 bench-serve -nodes 3 -rate 300 -duration 10s -o BENCH_serve.json
+//	    Boot an in-process sharded cluster and drive its coordinator with
+//	    an open-loop Zipf-skewed arrival stream; report latency
+//	    percentiles and throughput as JSON.
+//
 //	dbs3 dump -rel wisc -o wisc.csv
 //	    Write a demo relation as typed CSV — the format -csv loads back.
 package main
@@ -60,6 +75,12 @@ func main() {
 		switch os.Args[1] {
 		case "serve":
 			serveMain(os.Args[2:])
+			return
+		case "coord":
+			coordMain(os.Args[2:])
+			return
+		case "bench-serve":
+			benchServeMain(os.Args[2:])
 			return
 		case "dump":
 			dumpMain(os.Args[2:])
@@ -90,6 +111,8 @@ func main() {
 		fmt.Fprintf(out, "Usage:\n")
 		fmt.Fprintf(out, "  dbs3 -q <statement> [flags]   run statements against the demo database\n")
 		fmt.Fprintf(out, "  dbs3 serve [flags]            serve the database over HTTP (see 'dbs3 serve -h')\n")
+		fmt.Fprintf(out, "  dbs3 coord [flags]            scatter-gather coordinator over serve nodes (see 'dbs3 coord -h')\n")
+		fmt.Fprintf(out, "  dbs3 bench-serve [flags]      open-loop load test of an in-process cluster (see 'dbs3 bench-serve -h')\n")
 		fmt.Fprintf(out, "  dbs3 dump [flags]             write a demo relation as typed CSV (see 'dbs3 dump -h')\n\nFlags:\n")
 		flag.PrintDefaults()
 	}

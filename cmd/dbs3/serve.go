@@ -29,6 +29,9 @@ func serveMain(args []string) {
 		queue    = fs.Int("queue", 0, "admission queue depth; beyond it queries are shed with 503 (0 = 4x budget)")
 		priority = fs.String("priority", "interactive", "default admission class for requests that set none: interactive, batch")
 		stmtTTL  = fs.Duration("stmt-ttl", 0, "idle lifetime of server-side prepared statements (0 = 15m, negative = never expire)")
+		token    = fs.String("token", "", "bearer token required on every request (empty = no auth)")
+		shards   = fs.Int("shards", 1, "cluster width: restrict relations to this node's hash shard (1 = whole relations)")
+		shard    = fs.Int("shard", 0, "this node's shard index in [0,-shards) (with -shards > 1)")
 		demo     = fs.Bool("demo", true, "generate the demo relations (wisc, A, B, Br)")
 		wisc     = fs.Int("wisc", 10_000, "wisconsin relation cardinality (with -demo)")
 		aCard    = fs.Int("acard", 10_000, "join relation A cardinality (with -demo)")
@@ -72,18 +75,42 @@ func serveMain(args []string) {
 		fatal(fmt.Errorf("nothing to serve: -demo=false and no -csv relations"))
 	}
 
+	// Cluster membership: keep only this node's hash shard of every
+	// relation. Demo relations distribute on their join/filter keys (wisc on
+	// unique2; A, B, Br on k, the join attribute, so joins stay node-local);
+	// CSV relations distribute on their partitioning key.
+	if *shards > 1 {
+		dist := map[string]string{"wisc": "unique2", "A": "k", "B": "k", "Br": "k"}
+		for _, rel := range db.Relations() {
+			col, ok := dist[rel]
+			if !ok {
+				col = *csvKey
+			}
+			if err := db.ShardRelation(rel, col, *shard, *shards); err != nil {
+				fatal(fmt.Errorf("sharding %s: %w", rel, err))
+			}
+		}
+	} else if *shard != 0 {
+		fatal(fmt.Errorf("-shard %d without -shards", *shard))
+	}
+
 	m := db.Manager(dbs3.ManagerConfig{Budget: *budget, MaxQueued: *queue})
 	handler := server.New(db, m, server.Config{
 		DefaultOptions: dbs3.Options{Priority: *priority},
 		StmtTTL:        *stmtTTL,
+		AuthToken:      *token,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("dbs3: serving %s on http://%s (budget %d threads)\n",
-		strings.Join(db.Relations(), ", "), ln.Addr(), m.Budget())
+	shardNote := ""
+	if *shards > 1 {
+		shardNote = fmt.Sprintf(", shard %d/%d", *shard, *shards)
+	}
+	fmt.Printf("dbs3: serving %s on http://%s (budget %d threads%s)\n",
+		strings.Join(db.Relations(), ", "), ln.Addr(), m.Budget(), shardNote)
 
 	httpSrv := &http.Server{Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,373 @@
+// Package cluster is the distributed scatter-gather tier over dbs3's serve
+// nodes: a query coordinator that compiles a statement once, fans out
+// shard-restricted subqueries to N worker nodes over the existing wire
+// protocol (server-side prepared statements, `?` binding, binary columnar
+// streams), streams the partial results back concurrently, and re-aggregates
+// locally — union-merge for plain selections and joins, group-wise merge
+// aggregation for GROUP BY queries (partial aggregates are pushed down for
+// free: each worker's aggregate runs over only its shard).
+//
+// The tier is shared-nothing in the sense of the paper's degree-of-
+// partitioning model lifted one level: a relation's fragments live across
+// nodes (dbs3.ShardRelation places them by hashing a distribution column),
+// each node keeps its own QueryManager, admission queue and thread budget,
+// and the coordinator closes the [Rahm93] utilization feedback loop across
+// machines — it polls every node's /stats for SmoothedUtilization and held
+// threads, and folds the load of the *other* nodes into each fan-out
+// subquery's Options.Utilization so a worker's scheduler sees cluster load
+// it cannot measure locally.
+//
+// Failure semantics: a node that dies mid-stream fails the query cleanly —
+// the coordinator surfaces one error, cancels the sibling streams (each
+// worker sees its client disconnect, aborts the query, and returns the
+// threads to its local budget), and releases every coordinator-side
+// resource. Transient connect errors (a worker still starting) are retried
+// with bounded backoff by the underlying server.Client.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbs3/internal/server"
+)
+
+const (
+	// defaultTimeout bounds each coordinator→worker request's connect-and-
+	// respond phase (streamed bodies are unbounded; see server.Client).
+	defaultTimeout = 10 * time.Second
+	// defaultRetries re-sends a fan-out request after transient connect
+	// errors, covering workers that are still binding their listener.
+	defaultRetries = 3
+	// defaultPollInterval is the cadence of the health/utilization exchange.
+	defaultPollInterval = 2 * time.Second
+	// defaultMaxStatements caps the coordinator's prepared-statement
+	// registry, mirroring the serve-side cap.
+	defaultMaxStatements = 1024
+)
+
+// Config assembles a Coordinator.
+type Config struct {
+	// Nodes are the worker base URLs, e.g. "http://10.0.0.1:8080". At
+	// least one is required; every node must serve the same catalog,
+	// sharded with dbs3.ShardRelation (shard i of len(Nodes)).
+	Nodes []string
+	// Token is the bearer credential for coordinator→worker links; the
+	// coordinator's own HTTP front end enforces the same token.
+	Token string
+	// HTTP overrides the transport used for worker links (default
+	// http.DefaultClient-like per-node clients).
+	HTTP *http.Client
+	// Wire selects the worker-link result encoding: "" or "columnar"
+	// (default — the cheaper encoding for wide fan-in), or "ndjson".
+	Wire string
+	// Timeout bounds each worker request's header phase (0 = 10s).
+	Timeout time.Duration
+	// Retries bounds connect retries per worker request (0 = 3; negative
+	// disables).
+	Retries int
+	// PollInterval is the health/utilization exchange cadence (0 = 2s;
+	// negative disables the background poller — Poll can still be called
+	// explicitly).
+	PollInterval time.Duration
+	// MaxStatements caps the coordinator-side prepared-statement registry
+	// (0 = 1024).
+	MaxStatements int
+}
+
+// Coordinator fans queries out over a fixed registry of worker nodes and
+// merges their result streams. It is safe for concurrent use; create one
+// per cluster and Close it to stop the background poller.
+type Coordinator struct {
+	nodes   []*node
+	token   string
+	maxStmt int
+
+	mu     sync.Mutex
+	stmts  map[string]*coordStmt
+	nextID atomic.Int64
+
+	// Lifetime counters, surfaced on Stats and the /stats endpoint.
+	queries        atomic.Int64
+	failures       atomic.Int64
+	repreparations atomic.Int64
+
+	stopPoll chan struct{}
+	pollDone chan struct{}
+}
+
+// node is one worker: its wire client plus the last polled health/stats
+// snapshot, the coordinator's input to the cluster utilization exchange.
+type node struct {
+	name   string
+	client *server.Client
+
+	mu       sync.Mutex
+	polled   bool
+	alive    bool
+	lastErr  string
+	stats    server.StatsResponse
+	lastPoll time.Time
+}
+
+// New builds a Coordinator over cfg.Nodes and starts the health poller
+// (unless cfg.PollInterval is negative).
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no worker nodes configured")
+	}
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = defaultTimeout
+	}
+	retries := cfg.Retries
+	if retries == 0 {
+		retries = defaultRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	columnar := true
+	switch cfg.Wire {
+	case "", "columnar":
+	case "ndjson":
+		columnar = false
+	default:
+		return nil, fmt.Errorf("cluster: unknown worker wire encoding %q (want columnar or ndjson)", cfg.Wire)
+	}
+	c := &Coordinator{
+		token:   cfg.Token,
+		maxStmt: cfg.MaxStatements,
+		stmts:   make(map[string]*coordStmt),
+	}
+	if c.maxStmt <= 0 {
+		c.maxStmt = defaultMaxStatements
+	}
+	for _, base := range cfg.Nodes {
+		c.nodes = append(c.nodes, &node{
+			name: base,
+			client: &server.Client{
+				Base:     base,
+				HTTP:     cfg.HTTP,
+				Columnar: columnar,
+				Token:    cfg.Token,
+				Timeout:  timeout,
+				Retries:  retries,
+			},
+		})
+	}
+	interval := cfg.PollInterval
+	if interval == 0 {
+		interval = defaultPollInterval
+	}
+	if interval > 0 {
+		c.stopPoll = make(chan struct{})
+		c.pollDone = make(chan struct{})
+		go c.pollLoop(interval)
+	}
+	return c, nil
+}
+
+// Close stops the background poller. In-flight queries are unaffected.
+func (c *Coordinator) Close() {
+	if c.stopPoll != nil {
+		close(c.stopPoll)
+		<-c.pollDone
+		c.stopPoll = nil
+	}
+}
+
+// Nodes returns the configured worker base URLs, in fan-out order.
+func (c *Coordinator) Nodes() []string {
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.name
+	}
+	return out
+}
+
+// pollLoop runs the utilization exchange until Close.
+func (c *Coordinator) pollLoop(interval time.Duration) {
+	defer close(c.pollDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	// Prime immediately so the first queries already see remote load.
+	c.Poll(context.Background())
+	for {
+		select {
+		case <-ticker.C:
+			c.Poll(context.Background())
+		case <-c.stopPoll:
+			return
+		}
+	}
+}
+
+// Poll refreshes every node's health and stats snapshot concurrently: one
+// round of the cluster utilization exchange. Workers report their
+// SmoothedUtilization and held threads on /stats; a node whose /stats fails
+// is marked down until a later round revives it.
+func (c *Coordinator) Poll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, n := range c.nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			st, err := n.client.Stats(ctx)
+			now := time.Now()
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			n.polled = true
+			n.lastPoll = now
+			if err != nil {
+				n.alive = false
+				n.lastErr = err.Error()
+				return
+			}
+			n.alive = true
+			n.lastErr = ""
+			n.stats = *st
+		}(n)
+	}
+	wg.Wait()
+}
+
+// load is a node's scalar load signal: the EWMA-smoothed utilization its
+// manager measured from concurrent queries, or — whichever is higher — the
+// instantaneous fraction of its thread budget currently held. The second
+// term reacts within one poll round when a burst lands on a node whose EWMA
+// has not caught up yet.
+func (n *node) load() (float64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.polled || !n.alive {
+		return 0, false
+	}
+	l := n.stats.SmoothedUtilization
+	if n.stats.Budget > 0 {
+		if inst := float64(n.stats.ActiveThreads) / float64(n.stats.Budget); inst > l {
+			l = inst
+		}
+	}
+	return l, true
+}
+
+// remoteLoad folds the cluster's load as seen from one node: the maximum
+// load among the *other* nodes. A worker's own load is excluded — its local
+// QueryManager already measures that and feeds it into the scheduler; the
+// wire Utilization adds exactly what the worker cannot see. The maximum
+// (not the mean) is the right fold for scatter-gather: the merge waits for
+// the slowest sibling, so the busiest remote node bounds the useful
+// parallelism everywhere.
+func (c *Coordinator) remoteLoad(exclude *node) float64 {
+	var max float64
+	for _, n := range c.nodes {
+		if n == exclude {
+			continue
+		}
+		if l, ok := n.load(); ok && l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// nodeOptions derives one fan-out subquery's options for a node: the
+// caller's options with the worker-link encoding reset (the caller's Wire
+// choice governs the coordinator's own response, not worker links) and the
+// remote cluster load folded into Utilization [Rahm93].
+func (c *Coordinator) nodeOptions(n *node, opt *server.Options) *server.Options {
+	var o server.Options
+	if opt != nil {
+		o = *opt
+	}
+	o.Wire = ""
+	if u := c.remoteLoad(n); u > o.Utilization {
+		o.Utilization = u
+	}
+	return &o
+}
+
+// NodeStatus is one node's health snapshot in Stats.
+type NodeStatus struct {
+	Node string `json:"node"`
+	// Alive reports the last poll's outcome; Error carries its failure.
+	Alive bool   `json:"alive"`
+	Error string `json:"error,omitempty"`
+	// LastPoll is when the snapshot was taken (zero = never polled).
+	LastPoll time.Time `json:"lastPoll,omitzero"`
+	// Stats is the node's last /stats response (valid when Alive).
+	Stats server.StatsResponse `json:"stats"`
+}
+
+// Stats is the coordinator's cluster-wide snapshot.
+type Stats struct {
+	// Nodes holds one status per worker, in fan-out order.
+	Nodes []NodeStatus `json:"nodes"`
+	// Healthy counts nodes whose last poll succeeded.
+	Healthy int `json:"healthy"`
+	// ClusterUtilization is the maximum per-node load signal — what a
+	// fan-out lands on top of.
+	ClusterUtilization float64 `json:"clusterUtilization"`
+	// Queries/Failures count scatter-gather executions; Repreparations
+	// counts per-node statement re-prepares after a worker-side expiry.
+	Queries        int64 `json:"queries"`
+	Failures       int64 `json:"failures"`
+	Repreparations int64 `json:"repreparations"`
+	// Statements is the number of open coordinator-side prepared statements.
+	Statements int `json:"statements"`
+}
+
+// Stats snapshots the cluster from the last poll round (it does not touch
+// the network; call Poll first for freshness).
+func (c *Coordinator) Stats() Stats {
+	st := Stats{}
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		ns := NodeStatus{Node: n.name, Alive: n.alive, Error: n.lastErr, LastPoll: n.lastPoll}
+		if n.polled && n.alive {
+			ns.Stats = n.stats
+		}
+		n.mu.Unlock()
+		if ns.Alive {
+			st.Healthy++
+		}
+		st.Nodes = append(st.Nodes, ns)
+	}
+	if u := c.remoteLoad(nil); u > st.ClusterUtilization {
+		st.ClusterUtilization = u
+	}
+	st.Queries = c.queries.Load()
+	st.Failures = c.failures.Load()
+	st.Repreparations = c.repreparations.Load()
+	c.mu.Lock()
+	st.Statements = len(c.stmts)
+	c.mu.Unlock()
+	return st
+}
+
+// Health probes every node's /healthz concurrently and returns one error
+// naming the first dead node, or nil when all respond.
+func (c *Coordinator) Health(ctx context.Context) error {
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			if err := n.client.Health(ctx); err != nil {
+				errs[i] = fmt.Errorf("cluster: node %s: %w", n.name, err)
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

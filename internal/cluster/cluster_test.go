@@ -1,0 +1,480 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"dbs3"
+	"dbs3/internal/server"
+)
+
+// testBudget is each worker's thread budget in the cluster tests.
+const testBudget = 4
+
+// testShards is the cluster width the correctness suite runs at.
+const testShards = 3
+
+// populate loads the shared test catalog into db: a Wisconsin relation and
+// the paper's join pair. Every node and the single-node reference run the
+// same calls with the same seeds, so sharding is the only difference.
+func populate(t *testing.T, db *dbs3.Database) {
+	t.Helper()
+	if err := db.CreateWisconsin("wisc", 1200, 4, "unique2", 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateJoinPair("", 600, 600, 4, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// shardAll restricts db to one node's shard, distributing wisc on unique2
+// and the join relations on k — the join key, so both sides of every join
+// in the suite co-locate per node.
+func shardAll(t *testing.T, db *dbs3.Database, shard int) {
+	t.Helper()
+	for rel, col := range map[string]string{
+		"wisc": "unique2",
+		"A":    "k",
+		"B":    "k",
+		"Br":   "k",
+	} {
+		if err := db.ShardRelation(rel, col, shard, testShards); err != nil {
+			t.Fatalf("shard %s on %s: %v", rel, col, err)
+		}
+	}
+}
+
+// testCluster is a 3-worker cluster plus the single-node reference holding
+// the union relation.
+type testCluster struct {
+	coord *Coordinator
+	ref   *dbs3.Database
+	srvs  []*server.Server
+	urls  []string
+}
+
+func newTestCluster(t *testing.T, token string) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := 0; i < testShards; i++ {
+		db := dbs3.New()
+		populate(t, db)
+		shardAll(t, db, i)
+		m := db.Manager(dbs3.ManagerConfig{Budget: testBudget})
+		srv := server.New(db, m, server.Config{AuthToken: token})
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { ts.Client().CloseIdleConnections() })
+		tc.srvs = append(tc.srvs, srv)
+		tc.urls = append(tc.urls, ts.URL)
+	}
+	tc.ref = dbs3.New()
+	populate(t, tc.ref)
+	coord, err := New(Config{Nodes: tc.urls, Token: token, PollInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	tc.coord = coord
+	return tc
+}
+
+// drain collects a scatter-gather result into a row multiset.
+func drain(t *testing.T, rows *Rows) ([][]any, *Footer) {
+	t.Helper()
+	defer rows.Close()
+	var out [][]any
+	for rows.Next() {
+		out = append(out, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("scatter stream failed: %v", err)
+	}
+	return out, rows.Footer()
+}
+
+// canon renders a row multiset in a comparable canonical order.
+func canon(rows [][]any) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = fmt.Sprintf("%T:%v", v, v)
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestScatterGatherMatchesSingleNode is the tier's correctness property:
+// for every selection, join and aggregate in the suite, scatter-gather over
+// three workers holding hash-partitioned shards returns the same result
+// multiset as a single node holding the union relation.
+func TestScatterGatherMatchesSingleNode(t *testing.T) {
+	tc := newTestCluster(t, "")
+	ctx := context.Background()
+	cases := []struct {
+		sql  string
+		args []any
+	}{
+		// Selections and projections, with and without parameters.
+		{"SELECT * FROM wisc WHERE unique1 < 400", nil},
+		{"SELECT unique1, stringu1 FROM wisc WHERE unique2 < ?", []any{300}},
+		{"SELECT * FROM A", nil},
+		// Joins: the co-partitioned pair and the placed-on-id variant that
+		// forces a run-time redistribution inside each node.
+		{"SELECT * FROM A JOIN B ON A.k = B.k", nil},
+		{"SELECT A.id FROM A JOIN Br ON A.k = Br.k WHERE Br.id < 100", nil},
+		// Every aggregate kind, single and multi group columns, with
+		// parameters and over a join.
+		{"SELECT ten, COUNT(*) FROM wisc GROUP BY ten", nil},
+		{"SELECT ten, SUM(unique1) FROM wisc GROUP BY ten", nil},
+		{"SELECT two, MIN(unique1) FROM wisc GROUP BY two", nil},
+		{"SELECT two, four, MAX(unique1) FROM wisc GROUP BY two, four", nil},
+		{"SELECT four, MIN(stringu1) FROM wisc GROUP BY four", nil},
+		{"SELECT two, COUNT(*) FROM wisc WHERE unique1 < ? GROUP BY two", []any{500}},
+		{"SELECT k, COUNT(*) FROM A JOIN B ON A.k = B.k GROUP BY A.k", nil},
+		{"SELECT k, SUM(B.id) FROM A JOIN B ON A.k = B.k GROUP BY A.k", nil},
+	}
+	for _, c := range cases {
+		t.Run(c.sql, func(t *testing.T) {
+			want, err := tc.ref.QueryAll(c.sql, nil, c.args...)
+			if err != nil {
+				t.Fatalf("single-node reference: %v", err)
+			}
+			rows, err := tc.coord.Query(ctx, c.sql, c.args, nil)
+			if err != nil {
+				t.Fatalf("scatter: %v", err)
+			}
+			got, foot := drain(t, rows)
+			gotC, wantC := canon(got), canon(want.Data)
+			if len(gotC) != len(wantC) {
+				t.Fatalf("scatter returned %d rows, single node %d", len(gotC), len(wantC))
+			}
+			for i := range gotC {
+				if gotC[i] != wantC[i] {
+					t.Fatalf("row multisets diverge at %d:\n  scatter: %s\n  single:  %s", i, gotC[i], wantC[i])
+				}
+			}
+			if foot == nil {
+				t.Fatal("complete scatter stream has no footer")
+			}
+			if foot.RowCount != int64(len(got)) {
+				t.Errorf("footer rowCount = %d, want %d", foot.RowCount, len(got))
+			}
+			if len(foot.Nodes) != testShards {
+				t.Errorf("footer has %d node entries, want %d", len(foot.Nodes), testShards)
+			}
+		})
+	}
+}
+
+// TestScatterHeaderAggregatesCluster: the cluster header sums the nodes'
+// thread grants and takes the max utilization — the coordinator's view of
+// what the whole fan-out cost.
+func TestScatterHeaderAggregatesCluster(t *testing.T) {
+	tc := newTestCluster(t, "")
+	rows, err := tc.coord.Query(context.Background(), "SELECT * FROM wisc WHERE unique1 < 100", nil, &server.Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	h := rows.Header()
+	if h.Threads != 2*testShards {
+		t.Errorf("cluster header threads = %d, want %d (2 per node)", h.Threads, 2*testShards)
+	}
+	if len(h.Columns) == 0 || len(h.Columns) != len(h.Types) {
+		t.Errorf("malformed cluster header: %+v", h)
+	}
+	drain(t, rows)
+}
+
+// TestScatterArgCountChecked: the coordinator pre-checks parameter arity
+// before opening any worker stream.
+func TestScatterArgCountChecked(t *testing.T) {
+	tc := newTestCluster(t, "")
+	if _, err := tc.coord.Query(context.Background(), "SELECT * FROM wisc WHERE unique1 < ?", nil, nil); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	if _, err := tc.coord.Query(context.Background(), "SELECT * FROM wisc", []any{1}, nil); err == nil {
+		t.Fatal("surplus argument accepted")
+	}
+}
+
+// TestPrepareExecLifecycle: the compile-once path — prepare fans out,
+// executions bind fresh arguments, close releases every node's half.
+func TestPrepareExecLifecycle(t *testing.T) {
+	tc := newTestCluster(t, "")
+	ctx := context.Background()
+	pr, err := tc.coord.Prepare(ctx, "SELECT two, COUNT(*) FROM wisc WHERE unique1 < ? GROUP BY two", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Params != 1 {
+		t.Fatalf("prepared params = %d, want 1", pr.Params)
+	}
+	for _, limit := range []int64{100, 600, 1200} {
+		want, err := tc.ref.QueryAll("SELECT two, COUNT(*) FROM wisc WHERE unique1 < ? GROUP BY two", nil, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := tc.coord.Exec(ctx, pr.ID, []any{limit}, nil)
+		if err != nil {
+			t.Fatalf("exec limit=%d: %v", limit, err)
+		}
+		got, _ := drain(t, rows)
+		gotC, wantC := canon(got), canon(want.Data)
+		if len(gotC) != len(wantC) {
+			t.Fatalf("exec limit=%d: %d rows, want %d", limit, len(gotC), len(wantC))
+		}
+		for i := range gotC {
+			if gotC[i] != wantC[i] {
+				t.Fatalf("exec limit=%d row %d: got %s want %s", limit, i, gotC[i], wantC[i])
+			}
+		}
+	}
+	if err := tc.coord.CloseStmt(ctx, pr.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.coord.Exec(ctx, pr.ID, []any{int64(5)}, nil); err == nil {
+		t.Fatal("exec of a closed statement succeeded")
+	}
+	// Every worker's half is gone too.
+	for i := range tc.urls {
+		st, err := (&server.Client{Base: tc.urls[i]}).Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Statements != 0 {
+			t.Errorf("node %d still holds %d statements after CloseStmt", i, st.Statements)
+		}
+	}
+}
+
+// TestExecRepreparesExpiredNodeStatement: a worker that forgot its half of
+// a prepared statement (restart, TTL expiry) is transparently re-prepared —
+// the execution still succeeds and the repair is counted.
+func TestExecRepreparesExpiredNodeStatement(t *testing.T) {
+	tc := newTestCluster(t, "")
+	ctx := context.Background()
+	pr, err := tc.coord.Prepare(ctx, "SELECT ten, COUNT(*) FROM wisc GROUP BY ten", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forget node 0's half behind the coordinator's back.
+	tc.coord.mu.Lock()
+	nodeID := tc.coord.stmts[pr.ID].nodeID(0)
+	tc.coord.mu.Unlock()
+	if err := (&server.Client{Base: tc.urls[0]}).CloseStmt(ctx, nodeID); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tc.coord.Exec(ctx, pr.ID, nil, nil)
+	if err != nil {
+		t.Fatalf("exec after node-side expiry: %v", err)
+	}
+	got, _ := drain(t, rows)
+	if len(got) != 10 {
+		t.Errorf("re-prepared exec returned %d groups, want 10", len(got))
+	}
+	if n := tc.coord.repreparations.Load(); n != 1 {
+		t.Errorf("repreparations = %d, want 1", n)
+	}
+}
+
+// TestUtilizationExchange: when one node reports load, fan-outs to the
+// *other* nodes carry it in Options.Utilization — the [Rahm93] loop across
+// machines — while the loaded node itself is not double-charged.
+func TestUtilizationExchange(t *testing.T) {
+	tc := newTestCluster(t, "")
+	// Fabricate a polled snapshot: node 0 is busy, the rest idle.
+	tc.coord.nodes[0].mu.Lock()
+	tc.coord.nodes[0].polled = true
+	tc.coord.nodes[0].alive = true
+	tc.coord.nodes[0].stats = server.StatsResponse{SmoothedUtilization: 0.75, Budget: testBudget}
+	tc.coord.nodes[0].mu.Unlock()
+	for _, n := range tc.coord.nodes[1:] {
+		n.mu.Lock()
+		n.polled = true
+		n.alive = true
+		n.stats = server.StatsResponse{Budget: testBudget}
+		n.mu.Unlock()
+	}
+	if got := tc.coord.remoteLoad(tc.coord.nodes[1]); got != 0.75 {
+		t.Errorf("remoteLoad(node1) = %v, want 0.75 (node0's load)", got)
+	}
+	if got := tc.coord.remoteLoad(tc.coord.nodes[0]); got != 0 {
+		t.Errorf("remoteLoad(node0) = %v, want 0 (own load excluded)", got)
+	}
+	opt := tc.coord.nodeOptions(tc.coord.nodes[1], &server.Options{Utilization: 0.2})
+	if opt.Utilization != 0.75 {
+		t.Errorf("fan-out utilization = %v, want max(caller 0.2, remote 0.75)", opt.Utilization)
+	}
+	// The caller's own higher estimate survives the fold.
+	opt = tc.coord.nodeOptions(tc.coord.nodes[1], &server.Options{Utilization: 0.9})
+	if opt.Utilization != 0.9 {
+		t.Errorf("fan-out utilization = %v, want caller's 0.9", opt.Utilization)
+	}
+	// ActiveThreads/Budget dominates a stale EWMA.
+	tc.coord.nodes[2].mu.Lock()
+	tc.coord.nodes[2].stats = server.StatsResponse{Budget: testBudget, ActiveThreads: testBudget}
+	tc.coord.nodes[2].mu.Unlock()
+	if got := tc.coord.remoteLoad(tc.coord.nodes[1]); got != 1 {
+		t.Errorf("remoteLoad with a saturated node = %v, want 1", got)
+	}
+}
+
+// TestClusterPollAndStats: a real poll round marks live nodes alive, folds
+// their utilization, and Stats reflects the query counters.
+func TestClusterPollAndStats(t *testing.T) {
+	tc := newTestCluster(t, "")
+	ctx := context.Background()
+	tc.coord.Poll(ctx)
+	st := tc.coord.Stats()
+	if st.Healthy != testShards {
+		t.Fatalf("healthy = %d, want %d", st.Healthy, testShards)
+	}
+	if len(st.Nodes) != testShards {
+		t.Fatalf("stats has %d nodes, want %d", len(st.Nodes), testShards)
+	}
+	for _, ns := range st.Nodes {
+		if !ns.Alive || ns.Stats.Budget != testBudget {
+			t.Errorf("node %s: alive=%v budget=%d, want alive with budget %d", ns.Node, ns.Alive, ns.Stats.Budget, testBudget)
+		}
+	}
+	rows, err := tc.coord.Query(ctx, "SELECT ten, COUNT(*) FROM wisc GROUP BY ten", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, rows)
+	if st := tc.coord.Stats(); st.Queries != 1 || st.Failures != 0 {
+		t.Errorf("queries=%d failures=%d, want 1/0", st.Queries, st.Failures)
+	}
+	if err := tc.coord.Health(ctx); err != nil {
+		t.Errorf("Health on a live cluster: %v", err)
+	}
+}
+
+// TestClusterAuth: the coordinator presents its bearer token to workers and
+// enforces the same token on its own front end; a tokenless client gets 401
+// from both tiers.
+func TestClusterAuth(t *testing.T) {
+	tc := newTestCluster(t, "cluster-secret")
+	ctx := context.Background()
+
+	// Coordinator→worker links carry the token: queries work end to end.
+	rows, err := tc.coord.Query(ctx, "SELECT ten, COUNT(*) FROM wisc GROUP BY ten", nil, nil)
+	if err != nil {
+		t.Fatalf("authorized scatter failed: %v", err)
+	}
+	got, _ := drain(t, rows)
+	if len(got) != 10 {
+		t.Fatalf("authorized scatter returned %d groups, want 10", len(got))
+	}
+
+	// The coordinator's own front end rejects a tokenless client…
+	front := httptest.NewServer(tc.coord.Handler())
+	defer front.Close()
+	defer front.Client().CloseIdleConnections()
+	bare := &server.Client{Base: front.URL}
+	if err := bare.Health(ctx); err == nil {
+		t.Fatal("tokenless client passed coordinator auth")
+	} else if se := err.(*server.StatusError); se.Code != 401 {
+		t.Fatalf("tokenless client got %d, want 401", se.Code)
+	}
+	// …and serves one presenting the right token.
+	authed := &server.Client{Base: front.URL, Token: "cluster-secret"}
+	if err := authed.Health(ctx); err != nil {
+		t.Fatalf("authorized client rejected: %v", err)
+	}
+}
+
+// TestHandlerRoundTrip drives the coordinator's HTTP front end with the
+// ordinary server.Client — the full client→coordinator→workers→client path,
+// in both wire encodings.
+func TestHandlerRoundTrip(t *testing.T) {
+	tc := newTestCluster(t, "")
+	front := httptest.NewServer(tc.coord.Handler())
+	defer front.Close()
+	defer front.Client().CloseIdleConnections()
+	ctx := context.Background()
+	for _, columnar := range []bool{false, true} {
+		client := &server.Client{Base: front.URL, Columnar: columnar}
+		name := "ndjson"
+		if columnar {
+			name = "columnar"
+		}
+		t.Run(name, func(t *testing.T) {
+			// Ad-hoc aggregate with a parameter.
+			stream, err := client.Query(ctx, "SELECT two, SUM(unique1) FROM wisc WHERE unique1 < ? GROUP BY two", []any{800}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := tc.ref.QueryAll("SELECT two, SUM(unique1) FROM wisc WHERE unique1 < ? GROUP BY two", nil, int64(800))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got [][]any
+			for stream.Next() {
+				got = append(got, stream.Row())
+			}
+			if err := stream.Err(); err != nil {
+				t.Fatal(err)
+			}
+			gotC, wantC := canon(got), canon(want.Data)
+			if len(gotC) != len(wantC) {
+				t.Fatalf("%d rows, want %d", len(gotC), len(wantC))
+			}
+			for i := range gotC {
+				if gotC[i] != wantC[i] {
+					t.Fatalf("row %d: got %s want %s", i, gotC[i], wantC[i])
+				}
+			}
+			if f := stream.Footer(); f == nil || f.RowCount != int64(len(got)) {
+				t.Errorf("wire footer %+v, want rowCount %d", f, len(got))
+			}
+
+			// Prepared lifecycle over the wire.
+			pr, err := client.Prepare(ctx, "SELECT unique1 FROM wisc WHERE unique2 < ?", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exec, err := client.Exec(ctx, pr.ID, []any{50}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for exec.Next() {
+				n++
+			}
+			if err := exec.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if n != 50 {
+				t.Errorf("prepared exec streamed %d rows, want 50", n)
+			}
+			if err := client.CloseStmt(ctx, pr.ID); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	// The front end's /stats is the cluster view: per-node health plus the
+	// coordinator's counters.
+	resp, err := front.Client().Get(front.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Healthy != testShards || st.Queries == 0 {
+		t.Errorf("cluster /stats healthy=%d queries=%d, want %d healthy and >0 queries", st.Healthy, st.Queries, testShards)
+	}
+}

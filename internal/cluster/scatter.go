@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dbs3/internal/esql"
+	"dbs3/internal/lera"
+	"dbs3/internal/server"
+)
+
+// rowChanDepth buffers the shared fan-in channel: deep enough that a worker
+// stream keeps decoding while the consumer is busy with another node's
+// chunk, small enough that backpressure still reaches slow consumers.
+const rowChanDepth = 256
+
+// NodeFooter is one worker's contribution to a scatter-gather result.
+type NodeFooter struct {
+	Node string `json:"node"`
+	// Rows is the node's partial row count (pre-merge for aggregates).
+	Rows int64 `json:"rows"`
+	// Threads is what the node's scheduler granted the subquery.
+	Threads int `json:"threads"`
+}
+
+// Footer closes a complete scatter-gather result.
+type Footer struct {
+	// RowCount is the number of rows the coordinator delivered (post-merge
+	// for aggregates).
+	RowCount int64 `json:"rowCount"`
+	// Threads is the cluster-wide thread total: the sum of every node's
+	// grant.
+	Threads int `json:"threads"`
+	// Nodes holds the per-worker footers, in fan-out order.
+	Nodes []NodeFooter `json:"nodes"`
+}
+
+// Rows iterates a scatter-gather result with the same cursor shape as
+// server.RowStream: Next/Row/Err/Footer/Close. For plain selections and
+// joins rows stream as workers produce them (interleaved across nodes, no
+// global order); for aggregates the coordinator has already drained and
+// merged the partials by the time Rows is returned, and iteration walks the
+// merged groups in group-key order.
+type Rows struct {
+	header *server.Header
+	g      *gather
+	stream bool    // true: pull from g.rowc; false: walk buf
+	buf    [][]any // merged aggregate rows
+	cur    []any
+	count  int64
+	footer *Footer
+	err    error
+	done   bool
+}
+
+// gather is the shared fan-in state of one scatter: the cancel that tears
+// down every worker stream, the channel the readers feed, and the first
+// error any of them hit.
+type gather struct {
+	cancel context.CancelFunc
+	rowc   chan []any
+	closed chan struct{} // closed once every reader exited and rowc is closed
+	onFail func()        // coordinator failure accounting, fired once
+
+	mu      sync.Mutex
+	err     error
+	footers []NodeFooter
+}
+
+// fail records the first stream error and cancels the siblings. Later
+// errors are dropped: once one node dies the cancellation itself makes the
+// other streams fail, and those secondary errors are noise.
+func (g *gather) fail(err error) {
+	g.mu.Lock()
+	first := g.err == nil
+	if first {
+		g.err = err
+	}
+	g.mu.Unlock()
+	if first {
+		g.cancel()
+		if g.onFail != nil {
+			g.onFail()
+		}
+	}
+}
+
+func (g *gather) firstErr() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// Query scatter-gathers one ad-hoc statement: it derives the merge shape
+// once (the coordinator-side compile), fans the unchanged SQL out to every
+// node with the remote-load-adjusted options, and merges the streams.
+func (c *Coordinator) Query(ctx context.Context, sql string, args []any, opt *server.Options) (*Rows, error) {
+	spec, err := esql.ScatterPlan(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != spec.Params {
+		return nil, fmt.Errorf("cluster: statement has %d parameters, got %d arguments", spec.Params, len(args))
+	}
+	return c.scatter(ctx, spec, func(ctx context.Context, _ int, n *node) (*server.RowStream, error) {
+		return n.client.Query(ctx, sql, args, c.nodeOptions(n, opt))
+	})
+}
+
+// scatter opens one stream per node through open, waits for every header,
+// and wires up the merge. Any open failure tears the whole fan-out down and
+// surfaces one error naming the node.
+func (c *Coordinator) scatter(ctx context.Context, spec *esql.ScatterSpec, open func(ctx context.Context, i int, n *node) (*server.RowStream, error)) (*Rows, error) {
+	c.queries.Add(1)
+	fanCtx, cancel := context.WithCancel(ctx)
+	streams := make([]*server.RowStream, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			st, err := open(fanCtx, i, n)
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: node %s: %w", n.name, err)
+				return
+			}
+			streams[i] = st
+		}(i, n)
+	}
+	wg.Wait()
+	abort := func(err error) (*Rows, error) {
+		cancel()
+		for _, st := range streams {
+			if st != nil {
+				st.Close()
+			}
+		}
+		c.failures.Add(1)
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return abort(err)
+		}
+	}
+	// Header barrier: every node granted the subquery and declared its
+	// result shape; the shapes must agree or the catalogs have diverged.
+	head := streams[0].Header()
+	cluster := &server.Header{
+		Columns:     head.Columns,
+		Types:       head.Types,
+		Threads:     0,
+		Utilization: 0,
+	}
+	for i, st := range streams {
+		h := st.Header()
+		if !equalStrings(h.Columns, head.Columns) || !equalStrings(h.Types, head.Types) {
+			return abort(fmt.Errorf("cluster: node %s result shape %v %v disagrees with node %s %v %v (diverged catalogs?)",
+				c.nodes[i].name, h.Columns, h.Types, c.nodes[0].name, head.Columns, head.Types))
+		}
+		cluster.Threads += h.Threads
+		if h.Utilization > cluster.Utilization {
+			cluster.Utilization = h.Utilization
+		}
+	}
+
+	g := &gather{
+		cancel:  cancel,
+		rowc:    make(chan []any, rowChanDepth),
+		closed:  make(chan struct{}),
+		onFail:  func() { c.failures.Add(1) },
+		footers: make([]NodeFooter, len(c.nodes)),
+	}
+	var readers sync.WaitGroup
+	for i, st := range streams {
+		readers.Add(1)
+		go func(i int, name string, st *server.RowStream) {
+			defer readers.Done()
+			defer st.Close()
+			for st.Next() {
+				select {
+				case g.rowc <- st.Row():
+				case <-fanCtx.Done():
+					return
+				}
+			}
+			if err := st.Err(); err != nil {
+				g.fail(fmt.Errorf("cluster: node %s: %w", name, err))
+				return
+			}
+			if f := st.Footer(); f != nil {
+				g.mu.Lock()
+				g.footers[i] = NodeFooter{Node: name, Rows: f.RowCount, Threads: f.Threads}
+				g.mu.Unlock()
+			}
+		}(i, c.nodes[i].name, st)
+	}
+	go func() {
+		readers.Wait()
+		close(g.rowc)
+		close(g.closed)
+	}()
+
+	rows := &Rows{header: cluster, g: g}
+	if !spec.HasAgg {
+		rows.stream = true
+		return rows, nil
+	}
+	// Grouped merge: drain every partial stream, fold group-wise with the
+	// merge aggregate, and hand back the groups in key order — the same
+	// sorted output a single node's Aggregate operator emits.
+	merged, err := mergeGroups(g, spec)
+	if err != nil {
+		cancel()
+		<-g.closed
+		if g.firstErr() == nil {
+			// A coordinator-side merge error; node failures were already
+			// counted by onFail.
+			c.failures.Add(1)
+		}
+		return nil, err
+	}
+	rows.buf = merged
+	return rows, nil
+}
+
+// mergeGroups drains the fan-in channel into a group table keyed by the
+// leading GroupCols columns, folding the partial aggregate value (the
+// single trailing column) with the merge aggregate.
+func mergeGroups(g *gather, spec *esql.ScatterSpec) ([][]any, error) {
+	groups := make(map[string][]any)
+	for row := range g.rowc {
+		if len(row) != spec.GroupCols+1 {
+			return nil, fmt.Errorf("cluster: aggregate partial row has %d columns, want %d group + 1 value", len(row), spec.GroupCols)
+		}
+		key := groupKey(row[:spec.GroupCols])
+		if acc, ok := groups[key]; ok {
+			v, err := foldValue(spec.Merge, acc[spec.GroupCols], row[spec.GroupCols])
+			if err != nil {
+				return nil, err
+			}
+			acc[spec.GroupCols] = v
+		} else {
+			groups[key] = row
+		}
+	}
+	if err := g.firstErr(); err != nil {
+		return nil, err
+	}
+	out := make([][]any, 0, len(groups))
+	for _, row := range groups {
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return compareRows(out[i], out[j], spec.GroupCols) < 0
+	})
+	return out, nil
+}
+
+// groupKey canonicalizes a group key for the merge table: type-tagged,
+// length-delimited, so ("1","2") and (12,) can never collide.
+func groupKey(cols []any) string {
+	var b strings.Builder
+	for _, v := range cols {
+		switch t := v.(type) {
+		case int64:
+			b.WriteByte('i')
+			b.WriteString(strconv.FormatInt(t, 10))
+		case string:
+			b.WriteByte('s')
+			b.WriteString(strconv.Itoa(len(t)))
+			b.WriteByte(':')
+			b.WriteString(t)
+		default:
+			// Streams only carry int64 and string; anything else would have
+			// failed wire decoding already.
+			b.WriteString(fmt.Sprintf("?%v", t))
+		}
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}
+
+// foldValue merges two partial aggregate values.
+func foldValue(kind lera.AggKind, a, b any) (any, error) {
+	switch kind {
+	case lera.AggSum:
+		ai, aok := a.(int64)
+		bi, bok := b.(int64)
+		if !aok || !bok {
+			return nil, fmt.Errorf("cluster: SUM merge over non-integer partials (%T, %T)", a, b)
+		}
+		return ai + bi, nil
+	case lera.AggMin, lera.AggMax:
+		less, err := lessValue(a, b)
+		if err != nil {
+			return nil, err
+		}
+		if less == (kind == lera.AggMin) {
+			return a, nil
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("cluster: aggregate %v has no merge", kind)
+	}
+}
+
+// lessValue orders two same-typed engine values (int64 numerically, string
+// lexically), mirroring relation.Tuple.Compare.
+func lessValue(a, b any) (bool, error) {
+	switch av := a.(type) {
+	case int64:
+		bv, ok := b.(int64)
+		if !ok {
+			return false, fmt.Errorf("cluster: comparing %T with %T", a, b)
+		}
+		return av < bv, nil
+	case string:
+		bv, ok := b.(string)
+		if !ok {
+			return false, fmt.Errorf("cluster: comparing %T with %T", a, b)
+		}
+		return av < bv, nil
+	default:
+		return false, fmt.Errorf("cluster: unordered value type %T", a)
+	}
+}
+
+// compareRows orders rows by their first n columns, for the merged-group
+// sort. Values inside one column are homogeneous; a type mismatch would
+// have failed the fold already, so it sorts arbitrarily-but-stably here.
+func compareRows(a, b []any, n int) int {
+	for i := 0; i < n && i < len(a) && i < len(b); i++ {
+		if less, err := lessValue(a[i], b[i]); err == nil {
+			if less {
+				return -1
+			}
+			if l2, _ := lessValue(b[i], a[i]); l2 {
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Header returns the cluster-level stream header: the (validated-identical)
+// result shape, the sum of the nodes' thread grants, and the maximum
+// utilization any node reported.
+func (r *Rows) Header() *server.Header { return r.header }
+
+// Next advances the cursor. For streaming results it blocks on the fan-in
+// channel; for merged aggregates it walks the buffer.
+func (r *Rows) Next() bool {
+	if r.done {
+		return false
+	}
+	if r.stream {
+		row, ok := <-r.g.rowc
+		if !ok {
+			if err := r.g.firstErr(); err != nil {
+				r.fail(err)
+			} else {
+				r.complete()
+			}
+			return false
+		}
+		r.cur = row
+		r.count++
+		return true
+	}
+	if len(r.buf) == 0 {
+		r.complete()
+		return false
+	}
+	r.cur = r.buf[0]
+	r.buf = r.buf[1:]
+	r.count++
+	return true
+}
+
+// Row returns the current row: one int64 or string per header column.
+func (r *Rows) Row() []any { return r.cur }
+
+// Err returns the error that terminated the result, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Footer returns the cluster footer — set only after a complete iteration.
+func (r *Rows) Footer() *Footer { return r.footer }
+
+func (r *Rows) fail(err error) {
+	r.err = err
+	r.finish()
+}
+
+// complete builds the cluster footer from the per-node footers.
+func (r *Rows) complete() {
+	f := &Footer{RowCount: r.count}
+	r.g.mu.Lock()
+	f.Nodes = append(f.Nodes, r.g.footers...)
+	r.g.mu.Unlock()
+	for _, nf := range f.Nodes {
+		f.Threads += nf.Threads
+	}
+	r.footer = f
+	r.finish()
+}
+
+func (r *Rows) finish() {
+	if !r.done {
+		r.done = true
+		r.cur = nil
+		r.g.cancel()
+		<-r.g.closed // every reader exited; no goroutine outlives the result
+	}
+}
+
+// Close releases the result. Closing mid-stream cancels every worker
+// request, which aborts the subqueries and returns their threads to each
+// node's budget; Close returns only after all reader goroutines exited.
+func (r *Rows) Close() error {
+	r.finish()
+	return nil
+}
+
+// errIsStmtGone reports a worker-side 404: the node's prepared statement
+// expired (idle TTL) or the node restarted since prepare time.
+func errIsStmtGone(err error) bool {
+	var se *server.StatusError
+	return errors.As(err, &se) && se.Code == 404
+}

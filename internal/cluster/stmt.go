@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"dbs3/internal/esql"
+	"dbs3/internal/server"
+)
+
+// coordStmt is one coordinator-side prepared statement: the original SQL
+// (kept for re-preparing), the merge shape compiled once at prepare time,
+// the result metadata, and each node's server-side statement id.
+type coordStmt struct {
+	sql  string
+	spec *esql.ScatterSpec
+	info server.PrepareResponse // coordinator-facing metadata (coord id)
+
+	mu  sync.Mutex
+	ids []string // per node, same order as Coordinator.nodes
+}
+
+// nodeID returns node i's server-side statement id under the lock.
+func (s *coordStmt) nodeID(i int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ids[i]
+}
+
+func (s *coordStmt) setNodeID(i int, id string) {
+	s.mu.Lock()
+	s.ids[i] = id
+	s.mu.Unlock()
+}
+
+// Prepare compiles a statement once cluster-wide: the coordinator derives
+// the merge shape, prepares the statement on every node in parallel, and
+// registers the bundle under one coordinator id. Executions then skip both
+// the coordinator-side parse and the workers' parse/compile (their plan
+// caches hold the compiled plan against each node's shard).
+func (c *Coordinator) Prepare(ctx context.Context, sql string, opt *server.Options) (*server.PrepareResponse, error) {
+	spec, err := esql.ScatterPlan(sql)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if len(c.stmts) >= c.maxStmt {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: prepared-statement registry full (%d open)", c.maxStmt)
+	}
+	c.mu.Unlock()
+
+	stmt := &coordStmt{sql: sql, spec: spec, ids: make([]string, len(c.nodes))}
+	prs := make([]*server.PrepareResponse, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			pr, err := n.client.Prepare(ctx, sql, c.nodeOptions(n, opt))
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: node %s: %w", n.name, err)
+				return
+			}
+			prs[i] = pr
+			stmt.setNodeID(i, pr.ID)
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Best-effort cleanup of the nodes that did prepare.
+			for i, pr := range prs {
+				if pr != nil {
+					_ = c.nodes[i].client.CloseStmt(ctx, pr.ID)
+				}
+			}
+			c.failures.Add(1)
+			return nil, err
+		}
+	}
+
+	id := "c" + strconv.FormatInt(c.nextID.Add(1), 10)
+	stmt.info = server.PrepareResponse{
+		ID:      id,
+		SQL:     sql,
+		Columns: prs[0].Columns,
+		Types:   prs[0].Types,
+		Params:  spec.Params,
+	}
+	c.mu.Lock()
+	c.stmts[id] = stmt
+	c.mu.Unlock()
+	out := stmt.info
+	return &out, nil
+}
+
+// Stmt returns a prepared statement's metadata.
+func (c *Coordinator) Stmt(id string) (*server.PrepareResponse, bool) {
+	c.mu.Lock()
+	stmt, ok := c.stmts[id]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	out := stmt.info
+	return &out, true
+}
+
+// Exec scatter-gathers one execution of a prepared statement. A node whose
+// server-side statement vanished (expired by its idle-TTL sweep, or the
+// node restarted) is transparently re-prepared once and retried; a second
+// miss fails the execution.
+func (c *Coordinator) Exec(ctx context.Context, id string, args []any, opt *server.Options) (*Rows, error) {
+	c.mu.Lock()
+	stmt, ok := c.stmts[id]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: no prepared statement %q", id)
+	}
+	if len(args) != stmt.spec.Params {
+		return nil, fmt.Errorf("cluster: statement %s has %d parameters, got %d arguments", id, stmt.spec.Params, len(args))
+	}
+	return c.scatter(ctx, stmt.spec, func(ctx context.Context, i int, n *node) (*server.RowStream, error) {
+		st, err := n.client.Exec(ctx, stmt.nodeID(i), args, c.nodeOptions(n, opt))
+		if err == nil || !errIsStmtGone(err) {
+			return st, err
+		}
+		// The worker forgot the statement; re-prepare and retry once.
+		pr, perr := n.client.Prepare(ctx, stmt.sql, nil)
+		if perr != nil {
+			return nil, fmt.Errorf("re-preparing expired statement: %w", perr)
+		}
+		stmt.setNodeID(i, pr.ID)
+		c.repreparations.Add(1)
+		return n.client.Exec(ctx, pr.ID, args, c.nodeOptions(n, opt))
+	})
+}
+
+// CloseStmt discards a coordinator-side prepared statement and best-effort
+// closes each node's half (a node that already expired it returns 404,
+// which is the desired end state anyway).
+func (c *Coordinator) CloseStmt(ctx context.Context, id string) error {
+	c.mu.Lock()
+	stmt, ok := c.stmts[id]
+	if ok {
+		delete(c.stmts, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: no prepared statement %q", id)
+	}
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			_ = n.client.CloseStmt(ctx, stmt.nodeID(i))
+		}(i, n)
+	}
+	wg.Wait()
+	return nil
+}

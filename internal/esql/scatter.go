@@ -1,0 +1,56 @@
+package esql
+
+import (
+	"fmt"
+
+	"dbs3/internal/lera"
+)
+
+// ScatterSpec is the coordinator half of a scatter-gather execution: how the
+// per-node result streams of one statement recombine into the answer a
+// single node holding the union relation would produce. Workers run the
+// statement unchanged over their shard — for aggregate queries that is
+// exactly the partial-aggregate pushdown, because each worker's GROUP BY
+// computes complete groups over its fragment of the data — and the
+// coordinator either unions the streams (no aggregate) or folds the partial
+// rows group-wise with the merge aggregate (lera.AggKind.Merge).
+type ScatterSpec struct {
+	// HasAgg reports whether the statement aggregates. Without an
+	// aggregate, scatter-gather is a plain union-merge of the node streams.
+	HasAgg bool
+	// Merge is the aggregate that folds partial values (COUNT merges by
+	// summing; SUM/MIN/MAX are self-merging). Valid only when HasAgg.
+	Merge lera.AggKind
+	// GroupCols is the number of leading result columns that form the group
+	// key; the partial aggregate value is the single column after them (the
+	// engine's aggregate output shape: group key, then value). Valid only
+	// when HasAgg.
+	GroupCols int
+	// Params is the number of `?` placeholders each fan-out execution binds.
+	Params int
+}
+
+// ScatterPlan parses one statement and derives its scatter-gather merge
+// shape. It rejects nothing a worker would accept: any statement in the ESQL
+// subset has a well-defined merge (union or grouped fold), because the
+// subset's aggregates all decompose over disjoint shards.
+func ScatterPlan(sql string) (*ScatterSpec, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	spec := &ScatterSpec{Params: q.Params}
+	if q.Agg == nil {
+		return spec, nil
+	}
+	if len(q.GroupBy) == 0 {
+		// Unreachable in the current grammar (aggregates require GROUP BY),
+		// kept as a guard: a global aggregate would still merge, but the
+		// group-key arithmetic below assumes at least one key column.
+		return nil, fmt.Errorf("esql: aggregate without GROUP BY has no scatter-gather shape")
+	}
+	spec.HasAgg = true
+	spec.Merge = q.Agg.Kind.Merge()
+	spec.GroupCols = len(q.GroupBy)
+	return spec, nil
+}

@@ -1,0 +1,54 @@
+package esql
+
+import (
+	"testing"
+
+	"dbs3/internal/lera"
+)
+
+func TestScatterPlan(t *testing.T) {
+	cases := []struct {
+		sql    string
+		hasAgg bool
+		merge  lera.AggKind
+		groups int
+		params int
+	}{
+		{"SELECT * FROM wisc", false, 0, 0, 0},
+		{"SELECT unique1, two FROM wisc WHERE unique1 < ?", false, 0, 0, 1},
+		{"SELECT ten, COUNT(*) FROM wisc GROUP BY ten", true, lera.AggSum, 1, 0},
+		{"SELECT ten, SUM(unique1) FROM wisc WHERE two = ? GROUP BY ten", true, lera.AggSum, 1, 1},
+		{"SELECT ten, MIN(unique1) FROM wisc GROUP BY ten", true, lera.AggMin, 1, 0},
+		{"SELECT two, four, MAX(unique1) FROM wisc GROUP BY two, four", true, lera.AggMax, 2, 0},
+		{"SELECT k, COUNT(*) FROM A JOIN B ON A.k = B.k GROUP BY A.k", true, lera.AggSum, 1, 0},
+	}
+	for _, c := range cases {
+		spec, err := ScatterPlan(c.sql)
+		if err != nil {
+			t.Fatalf("ScatterPlan(%q): %v", c.sql, err)
+		}
+		if spec.HasAgg != c.hasAgg || spec.Params != c.params {
+			t.Errorf("ScatterPlan(%q) = %+v, want hasAgg=%v params=%d", c.sql, spec, c.hasAgg, c.params)
+		}
+		if c.hasAgg && (spec.Merge != c.merge || spec.GroupCols != c.groups) {
+			t.Errorf("ScatterPlan(%q) = %+v, want merge=%v groups=%d", c.sql, spec, c.merge, c.groups)
+		}
+	}
+	if _, err := ScatterPlan("SELECT FROM"); err == nil {
+		t.Fatalf("ScatterPlan on a parse error must fail")
+	}
+}
+
+func TestAggKindMerge(t *testing.T) {
+	want := map[lera.AggKind]lera.AggKind{
+		lera.AggCount: lera.AggSum,
+		lera.AggSum:   lera.AggSum,
+		lera.AggMin:   lera.AggMin,
+		lera.AggMax:   lera.AggMax,
+	}
+	for k, m := range want {
+		if got := k.Merge(); got != m {
+			t.Errorf("%v.Merge() = %v, want %v", k, got, m)
+		}
+	}
+}

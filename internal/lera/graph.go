@@ -105,6 +105,19 @@ func (a AggKind) String() string {
 	}
 }
 
+// Merge returns the aggregate that combines partial results of a into the
+// global result: COUNT partials are counts already, so they add like SUM;
+// SUM, MIN and MAX are self-merging. This is the scatter-gather rewrite a
+// distributed coordinator applies — each shard runs the original aggregate
+// over its fragment, and the merge aggregate folds the per-shard rows
+// group-wise into the answer a single node would have produced.
+func (a AggKind) Merge() AggKind {
+	if a == AggCount {
+		return AggSum
+	}
+	return a
+}
+
 // RouteKind says how a data edge routes tuples to consumer instances.
 type RouteKind int
 

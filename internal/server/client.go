@@ -4,16 +4,26 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"syscall"
+	"time"
 )
 
+// defaultRetryBackoff seeds the retry backoff ladder when the client sets
+// Retries but no RetryBackoff: long enough that a worker mid-restart gets a
+// real chance to bind its listener, short enough that a coordinator fan-out
+// barely notices a retried connect.
+const defaultRetryBackoff = 50 * time.Millisecond
+
 // Client is a minimal Go client for the wire protocol — the reference
-// consumer the end-to-end tests and the serve smoke script drive. Any HTTP
-// client can speak the protocol; this one exists so the tests exercise
-// exactly what we document.
+// consumer the end-to-end tests, the cluster coordinator and the serve
+// smoke script drive. Any HTTP client can speak the protocol; this one
+// exists so the tests exercise exactly what we document.
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8080".
 	Base string
@@ -25,6 +35,23 @@ type Client struct {
 	// response declares, so flipping this changes bytes on the wire, not
 	// the rows the caller sees.
 	Columnar bool
+	// Token is the bearer credential sent as "Authorization: Bearer" on
+	// every request, for servers running with Config.AuthToken.
+	Token string
+	// Timeout bounds each request's connect-and-respond phase: dialing,
+	// writing the request, and receiving the response header. Streamed
+	// result bodies are not covered — a long query streams for as long as
+	// it runs — so the timeout catches unreachable or wedged servers
+	// without capping result size. 0 means no timeout.
+	Timeout time.Duration
+	// Retries is how many times a request is re-sent after a transient
+	// connect failure (connection refused/reset before any response —
+	// e.g. fanning out to a worker that is still starting). Retries are
+	// safe there because the server never saw the request. 0 disables.
+	Retries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt (0 = 50ms).
+	RetryBackoff time.Duration
 }
 
 func (c *Client) http() *http.Client {
@@ -34,45 +61,135 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// post sends a JSON body and returns the raw response.
-func (c *Client) post(ctx context.Context, path string, body any) (*http.Response, error) {
-	buf, err := json.Marshal(body)
-	if err != nil {
-		return nil, err
+// transientConnect reports whether a request failed before reaching the
+// server: a dial-phase error (refused, unreachable, no listener yet) or a
+// connection reset with no response. Only those are safe to retry blindly —
+// the server never observed the request.
+func transientConnect(err error) bool {
+	var op *net.OpError
+	if errors.As(err, &op) && op.Op == "dial" {
+		return true
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(buf))
-	if err != nil {
-		return nil, err
+	return errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET)
+}
+
+// do sends one request with auth, the header-phase timeout, and bounded
+// retry-with-backoff on transient connect errors. The returned cancel
+// releases the request's context and MUST be called once the response is
+// consumed (RowStream.finish does it for streamed bodies).
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, context.CancelFunc, error) {
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
 	}
-	req.Header.Set("Content-Type", "application/json")
+	for attempt := 0; ; attempt++ {
+		resp, cancel, err := c.attempt(ctx, method, path, body)
+		if err == nil {
+			return resp, cancel, nil
+		}
+		if attempt >= c.Retries || !transientConnect(err) || ctx.Err() != nil {
+			return nil, nil, err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+		backoff *= 2
+	}
+}
+
+// attempt issues the request once. The header-phase timeout runs a timer
+// that cancels the request context; on success the timer is disarmed and the
+// context stays alive for the body.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (*http.Response, context.CancelFunc, error) {
+	reqCtx, cancel := context.WithCancel(ctx)
+	var timer *time.Timer
+	if c.Timeout > 0 {
+		timer = time.AfterFunc(c.Timeout, cancel)
+	}
+	fail := func(err error) (*http.Response, context.CancelFunc, error) {
+		cancel()
+		if timer != nil && !timer.Stop() && ctx.Err() == nil {
+			err = fmt.Errorf("server: no response header within %v: %w", c.Timeout, err)
+		}
+		return nil, nil, err
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(reqCtx, method, c.Base+path, rd)
+	if err != nil {
+		return fail(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	if c.Columnar {
 		req.Header.Set("Accept", ContentTypeColumnar)
 	}
-	return c.http().Do(req)
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fail(err)
+	}
+	if timer != nil && !timer.Stop() {
+		// The timer fired between response arrival and here; the body is
+		// already doomed, so surface the timeout instead of a mid-read error.
+		resp.Body.Close()
+		return fail(fmt.Errorf("server: response header raced the %v timeout", c.Timeout))
+	}
+	return resp, cancel, nil
 }
 
-// errorFrom drains a non-200 response into an error.
+// post sends a JSON body and returns the raw response plus its context
+// release.
+func (c *Client) post(ctx context.Context, path string, body any) (*http.Response, context.CancelFunc, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.do(ctx, http.MethodPost, path, buf)
+}
+
+// StatusError is a non-200 response surfaced as an error. Callers can branch
+// on the code — the cluster coordinator re-prepares and retries on a 404
+// from an expired server-side statement.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server: %d %s: %s", e.Code, http.StatusText(e.Code), e.Msg)
+}
+
+// errorFrom drains a non-200 response into a *StatusError.
 func errorFrom(resp *http.Response) error {
 	defer resp.Body.Close()
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	return fmt.Errorf("server: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	return &StatusError{Code: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
 }
 
 // Query runs one ad-hoc statement and returns the result stream.
 func (c *Client) Query(ctx context.Context, sql string, args []any, opts *Options) (*RowStream, error) {
-	resp, err := c.post(ctx, "/query", QueryRequest{SQL: sql, Args: args, Options: opts})
+	resp, cancel, err := c.post(ctx, "/query", QueryRequest{SQL: sql, Args: args, Options: opts})
 	if err != nil {
 		return nil, err
 	}
-	return newRowStream(resp)
+	return newRowStream(resp, cancel)
 }
 
 // Prepare compiles a statement server-side.
 func (c *Client) Prepare(ctx context.Context, sql string, opts *Options) (*PrepareResponse, error) {
-	resp, err := c.post(ctx, "/prepare", QueryRequest{SQL: sql, Options: opts})
+	resp, cancel, err := c.post(ctx, "/prepare", QueryRequest{SQL: sql, Options: opts})
 	if err != nil {
 		return nil, err
 	}
+	defer cancel()
 	if resp.StatusCode != http.StatusOK {
 		return nil, errorFrom(resp)
 	}
@@ -88,23 +205,20 @@ func (c *Client) Prepare(ctx context.Context, sql string, opts *Options) (*Prepa
 // (nil for none) override the statement's prepare-time options for this
 // execution.
 func (c *Client) Exec(ctx context.Context, id string, args []any, opts *Options) (*RowStream, error) {
-	resp, err := c.post(ctx, "/stmt/"+id+"/exec", ExecRequest{Args: args, Options: opts})
+	resp, cancel, err := c.post(ctx, "/stmt/"+id+"/exec", ExecRequest{Args: args, Options: opts})
 	if err != nil {
 		return nil, err
 	}
-	return newRowStream(resp)
+	return newRowStream(resp, cancel)
 }
 
 // CloseStmt discards a server-side prepared statement.
 func (c *Client) CloseStmt(ctx context.Context, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Base+"/stmt/"+id, nil)
+	resp, cancel, err := c.do(ctx, http.MethodDelete, "/stmt/"+id, nil)
 	if err != nil {
 		return err
 	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return err
-	}
+	defer cancel()
 	if resp.StatusCode != http.StatusNoContent {
 		return errorFrom(resp)
 	}
@@ -114,14 +228,11 @@ func (c *Client) CloseStmt(ctx context.Context, id string) error {
 
 // Stats fetches the server's manager and plan-cache counters.
 func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/stats", nil)
+	resp, cancel, err := c.do(ctx, http.MethodGet, "/stats", nil)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return nil, err
-	}
+	defer cancel()
 	if resp.StatusCode != http.StatusOK {
 		return nil, errorFrom(resp)
 	}
@@ -131,6 +242,20 @@ func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Health probes GET /healthz, reporting nil for a live, authorized server.
+func (c *Client) Health(ctx context.Context) error {
+	resp, cancel, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return err
+	}
+	defer cancel()
+	if resp.StatusCode != http.StatusOK {
+		return errorFrom(resp)
+	}
+	resp.Body.Close()
+	return nil
 }
 
 // RowStream iterates a streamed result, cursor-style:
@@ -149,8 +274,9 @@ func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 // body, which disconnects the request and cancels the query on the server.
 type RowStream struct {
 	resp   *http.Response
-	dec    *json.Decoder   // NDJSON decode state (nil for columnar streams)
-	col    *colFrameReader // columnar decode state (nil for NDJSON streams)
+	cancel context.CancelFunc // releases the request context; nil-safe via finish
+	dec    *json.Decoder      // NDJSON decode state (nil for columnar streams)
+	col    *colFrameReader    // columnar decode state (nil for NDJSON streams)
 	header *Header
 	buf    [][]any
 	cur    []any
@@ -160,55 +286,55 @@ type RowStream struct {
 }
 
 // newRowStream validates the response, dispatches on its declared encoding
-// and reads the header message.
-func newRowStream(resp *http.Response) (*RowStream, error) {
+// and reads the header message. cancel releases the request's context; the
+// stream owns it from here and fires it when the stream finishes.
+func newRowStream(resp *http.Response, cancel context.CancelFunc) (*RowStream, error) {
+	abort := func(err error) (*RowStream, error) {
+		resp.Body.Close()
+		if cancel != nil {
+			cancel()
+		}
+		return nil, err
+	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, errorFrom(resp)
+		err := errorFrom(resp)
+		if cancel != nil {
+			cancel()
+		}
+		return nil, err
 	}
 	if strings.HasPrefix(resp.Header.Get("Content-Type"), ContentTypeColumnar) {
-		return newColumnarRowStream(resp)
+		fr := newColFrameReader(resp.Body)
+		kind, payload, err := fr.readFrame()
+		if err != nil {
+			return abort(fmt.Errorf("server: reading stream header: %w", err))
+		}
+		switch kind {
+		case frameError:
+			return abort(fmt.Errorf("server: %s", payload))
+		case frameHeader:
+			var h Header
+			if err := json.Unmarshal(payload, &h); err != nil {
+				return abort(fmt.Errorf("server: decoding stream header: %w", err))
+			}
+			return &RowStream{resp: resp, cancel: cancel, col: fr, header: &h}, nil
+		default:
+			return abort(fmt.Errorf("server: stream did not open with a header"))
+		}
 	}
 	dec := json.NewDecoder(resp.Body)
 	dec.UseNumber()
 	var msg Message
 	if err := dec.Decode(&msg); err != nil {
-		resp.Body.Close()
-		return nil, fmt.Errorf("server: reading stream header: %w", err)
+		return abort(fmt.Errorf("server: reading stream header: %w", err))
 	}
 	if msg.Error != "" {
-		resp.Body.Close()
-		return nil, fmt.Errorf("server: %s", msg.Error)
+		return abort(fmt.Errorf("server: %s", msg.Error))
 	}
 	if msg.Header == nil {
-		resp.Body.Close()
-		return nil, fmt.Errorf("server: stream did not open with a header")
+		return abort(fmt.Errorf("server: stream did not open with a header"))
 	}
-	return &RowStream{resp: resp, dec: dec, header: msg.Header}, nil
-}
-
-// newColumnarRowStream reads the opening frame of a binary columnar stream.
-func newColumnarRowStream(resp *http.Response) (*RowStream, error) {
-	fr := newColFrameReader(resp.Body)
-	kind, payload, err := fr.readFrame()
-	if err != nil {
-		resp.Body.Close()
-		return nil, fmt.Errorf("server: reading stream header: %w", err)
-	}
-	switch kind {
-	case frameError:
-		resp.Body.Close()
-		return nil, fmt.Errorf("server: %s", payload)
-	case frameHeader:
-		var h Header
-		if err := json.Unmarshal(payload, &h); err != nil {
-			resp.Body.Close()
-			return nil, fmt.Errorf("server: decoding stream header: %w", err)
-		}
-		return &RowStream{resp: resp, col: fr, header: &h}, nil
-	default:
-		resp.Body.Close()
-		return nil, fmt.Errorf("server: stream did not open with a header")
-	}
+	return &RowStream{resp: resp, cancel: cancel, dec: dec, header: msg.Header}, nil
 }
 
 // Header returns the stream's opening message.
@@ -327,6 +453,9 @@ func (s *RowStream) finish() {
 		s.done = true
 		s.cur = nil
 		s.resp.Body.Close()
+		if s.cancel != nil {
+			s.cancel()
+		}
 	}
 }
 

@@ -367,6 +367,35 @@ type resultEncoder interface {
 	fail(msg string) error
 }
 
+// StreamEncoder is the exported face of a result-stream encoder, for
+// front ends outside this package (the cluster coordinator) that speak the
+// same wire protocol: one Header, any number of row chunks, one terminal
+// Done or Fail. Calls must be serialized by the caller.
+type StreamEncoder struct{ enc resultEncoder }
+
+// NewStreamEncoder builds an encoder for the negotiated Content-Type (from
+// NegotiateWire): the NDJSON message stream or the binary columnar frame
+// stream. types aligns with the result columns and is required for columnar
+// encoding.
+func NewStreamEncoder(w io.Writer, contentType string, types []string) *StreamEncoder {
+	if contentType == ContentTypeColumnar {
+		return &StreamEncoder{enc: &columnarEncoder{w: w, types: types}}
+	}
+	return &StreamEncoder{enc: &ndjsonEncoder{enc: json.NewEncoder(w)}}
+}
+
+// Header opens the stream.
+func (s *StreamEncoder) Header(h *Header) error { return s.enc.header(h) }
+
+// Rows writes one row chunk.
+func (s *StreamEncoder) Rows(chunk [][]any) error { return s.enc.rows(chunk) }
+
+// Done closes a complete stream.
+func (s *StreamEncoder) Done(f *Footer) error { return s.enc.done(f) }
+
+// Fail closes the stream with an in-band error.
+func (s *StreamEncoder) Fail(msg string) error { return s.enc.fail(msg) }
+
 // ndjsonEncoder is the default JSON-lines encoding (see Message).
 type ndjsonEncoder struct {
 	enc *json.Encoder

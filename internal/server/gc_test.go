@@ -148,11 +148,12 @@ func TestStatementGCFreesCapForNewClients(t *testing.T) {
 		}
 	}
 	// At cap: a fresh prepare is shed with 429.
-	resp, err := client.post(ctx, "/prepare", QueryRequest{SQL: "SELECT ten FROM wisc"})
+	resp, cancel, err := client.post(ctx, "/prepare", QueryRequest{SQL: "SELECT ten FROM wisc"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	cancel()
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("prepare at cap = %d, want 429", resp.StatusCode)
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -57,6 +58,12 @@ type Config struct {
 	// WriteBuffer sizes the per-response bufio.Writer coalescing NDJSON
 	// frames before they hit the connection (0 = 32 KiB).
 	WriteBuffer int
+	// AuthToken, when non-empty, locks every endpoint behind bearer-token
+	// auth: requests must carry "Authorization: Bearer <token>" or they are
+	// rejected with 401 before any handler runs. Serve nodes joined into a
+	// cluster set it so coordinator→worker links are not open to the
+	// network.
+	AuthToken string
 }
 
 // Server is the HTTP front end over a Database and its QueryManager. It is
@@ -69,6 +76,7 @@ type Server struct {
 	maxStmt  int
 	stmtTTL  time.Duration
 	writeBuf int
+	token    string
 
 	mu     sync.Mutex
 	stmts  map[string]*stmtEntry
@@ -115,6 +123,7 @@ func New(db *dbs3.Database, manager *dbruntime.Manager, cfg Config) *Server {
 		maxStmt:  cfg.MaxStatements,
 		stmtTTL:  cfg.StmtTTL,
 		writeBuf: cfg.WriteBuffer,
+		token:    cfg.AuthToken,
 		stmts:    make(map[string]*stmtEntry),
 		now:      time.Now,
 		mux:      http.NewServeMux(),
@@ -144,8 +153,33 @@ func New(db *dbs3.Database, manager *dbruntime.Manager, cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. With an AuthToken configured, every
+// request — including /healthz, so an unauthenticated prober learns nothing —
+// must present it as a bearer credential.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !Authorized(r, s.token) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="dbs3"`)
+		http.Error(w, "server: missing or wrong bearer token", http.StatusUnauthorized)
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// Authorized reports whether r carries the bearer token (an empty token
+// disables auth). Comparison is constant-time so the check does not leak
+// prefix lengths. Shared by the serve front end and the cluster coordinator,
+// which enforces the same scheme on its own endpoints.
+func Authorized(r *http.Request, token string) bool {
+	if token == "" {
+		return true
+	}
+	auth := r.Header.Get("Authorization")
+	const scheme = "Bearer "
+	if len(auth) < len(scheme) || !strings.EqualFold(auth[:len(scheme)], scheme) {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(auth[len(scheme):]), []byte(token)) == 1
+}
 
 // requestOptions resolves one request's execution options: server defaults,
 // overridden by the per-connection priority header, overridden by the
@@ -187,6 +221,9 @@ func overlayOptions(base dbs3.Options, r *http.Request, wire *Options) dbs3.Opti
 	}
 	if wire.Materialize {
 		opt.Materialize = true
+	}
+	if wire.Utilization != 0 {
+		opt.Utilization = wire.Utilization
 	}
 	return opt
 }
@@ -425,9 +462,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// negotiateWire picks the result-stream encoding for one request: the wire
-// Options field wins, then the Accept header, then the NDJSON default. An
-// unknown wire name is the client's error.
+// NegotiateWire picks the result-stream encoding for one request: the wire
+// Options field wins, then the Accept header, then the NDJSON default. The
+// returned string is the Content-Type to declare (and to hand to
+// NewStreamEncoder). An unknown wire name is the client's error. Exported
+// for the cluster coordinator, whose front end negotiates identically.
+func NegotiateWire(r *http.Request, wire *Options) (string, error) {
+	return negotiateWire(r, wire)
+}
+
+// negotiateWire implements NegotiateWire.
 func negotiateWire(r *http.Request, wire *Options) (string, error) {
 	if wire != nil && wire.Wire != "" {
 		switch wire.Wire {

@@ -66,6 +66,12 @@ type Options struct {
 	// aggregation/projection, letting the manager renegotiate the query's
 	// thread reservation between the two chains (see dbs3.Options).
 	Materialize bool `json:"materialize,omitempty"`
+	// Utilization in [0, 1) tells this server's scheduler how busy the rest
+	// of the system already is, shrinking auto-chosen parallelism [Rahm93].
+	// A cluster coordinator sets it from the other nodes' measured load
+	// (GET /stats smoothedUtilization), extending the paper's feedback loop
+	// across machines.
+	Utilization float64 `json:"utilization,omitempty"`
 	// Wire selects the result-stream encoding: "ndjson" (default) or
 	// "columnar" (length-prefixed binary frames; see colwire.go). It
 	// overrides the Accept header; anything else is a 400.

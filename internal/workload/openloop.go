@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbs3/internal/zipf"
+)
+
+// OpenLoopStatement is one statement template in an open-loop mix: SQL with
+// `?` placeholders whose arguments are drawn per execution.
+type OpenLoopStatement struct {
+	SQL string
+	// Params is the number of `?` placeholders; each binds a Zipf-sampled
+	// integer rank in [1, ArgDomain].
+	Params int
+}
+
+// OpenLoopConfig drives an open-loop load test: statements arrive at a
+// fixed rate regardless of completions — the honest latency methodology,
+// because a closed loop's waiting clients throttle the very overload being
+// measured.
+type OpenLoopConfig struct {
+	// Statements is the query mix; arrivals pick from it Zipf-skewed (the
+	// first statement is the most popular).
+	Statements []OpenLoopStatement
+	// Rate is the arrival rate in statements/second.
+	Rate float64
+	// Duration is how long arrivals are generated.
+	Duration time.Duration
+	// MaxInFlight bounds concurrently outstanding statements; an arrival
+	// past the bound is dropped and counted (0 = 4096). It models client
+	// connection limits and keeps an overloaded run from spawning
+	// goroutines without bound.
+	MaxInFlight int
+	// ArgDomain is the argument sample space: each `?` binds a Zipf rank in
+	// [1, ArgDomain] (0 = 1000).
+	ArgDomain int
+	// Theta is the Zipf skew of both statement popularity and argument
+	// values (0 = uniform).
+	Theta float64
+	// Seed makes arrival timing and sampling reproducible.
+	Seed int64
+	// Run executes one statement — the seam the harness drives: a cluster
+	// coordinator, a single server.Client, or the in-process facade.
+	Run func(ctx context.Context, sql string, args []any) error
+	// Shed classifies a Run error as deliberate server-side load shedding
+	// (admission-queue rejection) rather than a failure. Shed errors are
+	// counted separately: at an over-capacity arrival rate, shedding is the
+	// measured outcome, not a broken run. Nil treats every error as a
+	// failure.
+	Shed func(error) bool
+}
+
+// OpenLoopResult summarizes one open-loop run.
+type OpenLoopResult struct {
+	Issued    int64 `json:"issued"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// Shed counts statements the server rejected under load (per the Shed
+	// classifier); Dropped counts arrivals shed client-side at the
+	// MaxInFlight bound.
+	Shed    int64 `json:"shed"`
+	Dropped int64 `json:"dropped"`
+	// Throughput is completions per second of wall-clock run time.
+	Throughput float64 `json:"throughput"`
+	// Latency percentiles over completed statements, in milliseconds.
+	P50Millis  float64 `json:"p50Millis"`
+	P95Millis  float64 `json:"p95Millis"`
+	P99Millis  float64 `json:"p99Millis"`
+	MaxMillis  float64 `json:"maxMillis"`
+	MeanMillis float64 `json:"meanMillis"`
+	// Elapsed is the wall-clock run time in seconds (arrival window plus
+	// the drain of in-flight statements).
+	Elapsed float64 `json:"elapsed"`
+}
+
+// OpenLoop runs the configured load until Duration's arrivals are issued
+// and every in-flight statement settles, then reports latency and
+// throughput. Arrival spacing is exponential (Poisson process) at Rate.
+func OpenLoop(ctx context.Context, cfg OpenLoopConfig) (*OpenLoopResult, error) {
+	if len(cfg.Statements) == 0 {
+		return nil, fmt.Errorf("workload: open loop needs at least one statement")
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("workload: open loop needs a positive arrival rate, got %v", cfg.Rate)
+	}
+	if cfg.Run == nil {
+		return nil, fmt.Errorf("workload: open loop needs a Run function")
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 4096
+	}
+	domain := cfg.ArgDomain
+	if domain <= 0 {
+		domain = 1000
+	}
+
+	// Independent sampler streams so statement popularity, argument skew
+	// and arrival jitter do not correlate.
+	stmtPick := zipf.NewSampler(len(cfg.Statements), cfg.Theta, cfg.Seed)
+	argPick := zipf.NewSampler(domain, cfg.Theta, cfg.Seed+1)
+	jitter := rand.New(rand.NewSource(cfg.Seed + 2))
+
+	var (
+		issued, completed, failed, shed, dropped atomic.Int64
+		inFlight                                 atomic.Int64
+		mu                                       sync.Mutex
+		latencies                                []time.Duration
+		wg                                       sync.WaitGroup
+	)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		stmt := cfg.Statements[stmtPick.Next()-1]
+		args := make([]any, stmt.Params)
+		for i := range args {
+			args[i] = int64(argPick.Next())
+		}
+		if inFlight.Load() >= int64(maxInFlight) {
+			dropped.Add(1)
+		} else {
+			issued.Add(1)
+			inFlight.Add(1)
+			wg.Add(1)
+			go func(sql string, args []any) {
+				defer wg.Done()
+				defer inFlight.Add(-1)
+				t0 := time.Now()
+				err := cfg.Run(ctx, sql, args)
+				d := time.Since(t0)
+				if err != nil {
+					if cfg.Shed != nil && cfg.Shed(err) {
+						shed.Add(1)
+					} else {
+						failed.Add(1)
+					}
+					return
+				}
+				completed.Add(1)
+				mu.Lock()
+				latencies = append(latencies, d)
+				mu.Unlock()
+			}(stmt.SQL, args)
+		}
+		// Poisson arrivals: exponential inter-arrival gaps at Rate.
+		gap := time.Duration(jitter.ExpFloat64() / cfg.Rate * float64(time.Second))
+		select {
+		case <-time.After(gap):
+		case <-ctx.Done():
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &OpenLoopResult{
+		Issued:    issued.Load(),
+		Completed: completed.Load(),
+		Failed:    failed.Load(),
+		Shed:      shed.Load(),
+		Dropped:   dropped.Load(),
+		Elapsed:   elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Completed) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) float64 {
+			idx := int(p * float64(len(latencies)-1))
+			return float64(latencies[idx]) / float64(time.Millisecond)
+		}
+		res.P50Millis = pct(0.50)
+		res.P95Millis = pct(0.95)
+		res.P99Millis = pct(0.99)
+		res.MaxMillis = float64(latencies[len(latencies)-1]) / float64(time.Millisecond)
+		var sum time.Duration
+		for _, d := range latencies {
+			sum += d
+		}
+		res.MeanMillis = float64(sum) / float64(len(latencies)) / float64(time.Millisecond)
+	}
+	return res, nil
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOpenLoopCountsAndLatency: the harness issues at roughly the asked
+// rate, completions and failures are accounted separately, and latency
+// percentiles are ordered.
+func TestOpenLoopCountsAndLatency(t *testing.T) {
+	var calls atomic.Int64
+	res, err := OpenLoop(context.Background(), OpenLoopConfig{
+		Statements: []OpenLoopStatement{
+			{SQL: "fast", Params: 1},
+			{SQL: "slow", Params: 2},
+		},
+		Rate:     500,
+		Duration: 200 * time.Millisecond,
+		Theta:    0.5,
+		Seed:     7,
+		Run: func(ctx context.Context, sql string, args []any) error {
+			calls.Add(1)
+			if len(args) == 0 {
+				return errors.New("missing sampled args")
+			}
+			for _, a := range args {
+				if v, ok := a.(int64); !ok || v < 1 {
+					return errors.New("argument not a positive rank")
+				}
+			}
+			if sql == "slow" {
+				time.Sleep(5 * time.Millisecond)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued == 0 || res.Issued != calls.Load() {
+		t.Fatalf("issued=%d calls=%d", res.Issued, calls.Load())
+	}
+	if res.Completed != res.Issued || res.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d issued=%d; Run never errored", res.Completed, res.Failed, res.Issued)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %v, want > 0", res.Throughput)
+	}
+	if !(res.P50Millis <= res.P95Millis && res.P95Millis <= res.P99Millis && res.P99Millis <= res.MaxMillis) {
+		t.Errorf("percentiles unordered: p50=%v p95=%v p99=%v max=%v", res.P50Millis, res.P95Millis, res.P99Millis, res.MaxMillis)
+	}
+}
+
+// TestOpenLoopFailuresCounted: Run errors land in Failed, not Completed,
+// and do not contribute latency samples.
+func TestOpenLoopFailuresCounted(t *testing.T) {
+	res, err := OpenLoop(context.Background(), OpenLoopConfig{
+		Statements: []OpenLoopStatement{{SQL: "boom"}},
+		Rate:       200,
+		Duration:   100 * time.Millisecond,
+		Run: func(ctx context.Context, sql string, args []any) error {
+			return errors.New("always fails")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != res.Issued || res.Completed != 0 {
+		t.Fatalf("failed=%d completed=%d issued=%d, want all failed", res.Failed, res.Completed, res.Issued)
+	}
+	if res.P50Millis != 0 {
+		t.Errorf("latency percentiles from failed runs: p50=%v", res.P50Millis)
+	}
+}
+
+// TestOpenLoopShedClassified: errors the Shed classifier recognizes are
+// counted as server-side load shedding, not failures; everything else
+// still lands in Failed.
+func TestOpenLoopShedClassified(t *testing.T) {
+	errShed := errors.New("server: status 503: runtime: admission queue full")
+	errReal := errors.New("parse error")
+	var n atomic.Int64
+	res, err := OpenLoop(context.Background(), OpenLoopConfig{
+		Statements: []OpenLoopStatement{{SQL: "x"}},
+		Rate:       500,
+		Duration:   100 * time.Millisecond,
+		Run: func(ctx context.Context, sql string, args []any) error {
+			if n.Add(1)%2 == 0 {
+				return errShed
+			}
+			return errReal
+		},
+		Shed: func(err error) bool { return errors.Is(err, errShed) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 || res.Failed == 0 {
+		t.Fatalf("shed=%d failed=%d, want both nonzero", res.Shed, res.Failed)
+	}
+	if res.Shed+res.Failed != res.Issued || res.Completed != 0 {
+		t.Fatalf("shed=%d + failed=%d != issued=%d (completed=%d)", res.Shed, res.Failed, res.Issued, res.Completed)
+	}
+}
+
+// TestOpenLoopInFlightBound: with Run blocked, arrivals past MaxInFlight
+// are dropped instead of growing goroutines without bound.
+func TestOpenLoopInFlightBound(t *testing.T) {
+	release := make(chan struct{})
+	res, err := OpenLoop(context.Background(), OpenLoopConfig{
+		Statements:  []OpenLoopStatement{{SQL: "hang"}},
+		Rate:        1000,
+		Duration:    100 * time.Millisecond,
+		MaxInFlight: 5,
+		Run: func(ctx context.Context, sql string, args []any) error {
+			select {
+			case <-release:
+			case <-time.After(300 * time.Millisecond):
+			}
+			return nil
+		},
+	})
+	close(release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued > 5 {
+		t.Errorf("issued %d with MaxInFlight 5", res.Issued)
+	}
+	if res.Dropped == 0 {
+		t.Error("no arrivals dropped despite a saturated in-flight bound")
+	}
+}
+
+// TestOpenLoopValidation: a broken config is rejected up front.
+func TestOpenLoopValidation(t *testing.T) {
+	run := func(ctx context.Context, sql string, args []any) error { return nil }
+	for name, cfg := range map[string]OpenLoopConfig{
+		"no statements": {Rate: 1, Duration: time.Millisecond, Run: run},
+		"no rate":       {Statements: []OpenLoopStatement{{SQL: "x"}}, Duration: time.Millisecond, Run: run},
+		"no run":        {Statements: []OpenLoopStatement{{SQL: "x"}}, Rate: 1, Duration: time.Millisecond},
+	} {
+		if _, err := OpenLoop(context.Background(), cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

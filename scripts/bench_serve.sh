@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Cluster load benchmark: boot an in-process 3-node sharded cluster plus
+# coordinator and drive it with an open-loop Zipf-skewed arrival stream
+# (hundreds of concurrent client statements through the coordinator's HTTP
+# front end). Writes latency percentiles, throughput and cluster counters
+# to BENCH_serve.json. Override the shape via env: NODES, RATE, DURATION,
+# INFLIGHT, OUT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_serve.json}"
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/dbs3" ./cmd/dbs3
+"$workdir/dbs3" bench-serve \
+  -nodes "${NODES:-3}" \
+  -rate "${RATE:-150}" \
+  -duration "${DURATION:-10s}" \
+  -inflight "${INFLIGHT:-512}" \
+  -o "$OUT"
+echo "bench-serve report written to $OUT"

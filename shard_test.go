@@ -1,0 +1,163 @@
+package dbs3
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// shardedCopies builds shards identical databases (same creation seeds) and
+// restricts each to its own hash shard of wisc — exactly how cluster worker
+// nodes are provisioned.
+func shardedCopies(t *testing.T, card, shards int) []*Database {
+	t.Helper()
+	dbs := make([]*Database, shards)
+	for i := range dbs {
+		db := New()
+		if err := db.CreateWisconsin("wisc", card, 4, "unique2", 42); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.ShardRelation("wisc", "unique2", i, shards); err != nil {
+			t.Fatal(err)
+		}
+		dbs[i] = db
+	}
+	return dbs
+}
+
+// TestShardRelationUnionIsWholeRelation: the shards partition the relation —
+// their cardinalities sum to the original, no tuple appears on two nodes,
+// and the union of the shards' tuples is exactly the unsharded relation.
+func TestShardRelationUnionIsWholeRelation(t *testing.T) {
+	const card, shards = 900, 3
+	dbs := shardedCopies(t, card, shards)
+
+	var total int
+	seen := make(map[string]int)
+	for i, db := range dbs {
+		n, err := db.Cardinality("wisc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 || n == card {
+			t.Errorf("shard %d holds %d of %d tuples; hash split degenerate", i, n, card)
+		}
+		total += n
+		rows, err := db.QueryAll("SELECT unique1, unique2 FROM wisc", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows.Data {
+			seen[fmt.Sprint(r)]++
+		}
+	}
+	if total != card {
+		t.Errorf("shard cardinalities sum to %d, want %d", total, card)
+	}
+
+	full := New()
+	if err := full.CreateWisconsin("wisc", card, 4, "unique2", 42); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := full.QueryAll("SELECT unique1, unique2 FROM wisc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != len(seen) {
+		t.Fatalf("union has %d distinct tuples, full relation %d", len(seen), len(rows.Data))
+	}
+	for _, r := range rows.Data {
+		if seen[fmt.Sprint(r)] != 1 {
+			t.Fatalf("tuple %v appears on %d shards, want exactly 1", r, seen[fmt.Sprint(r)])
+		}
+	}
+}
+
+// TestShardRelationKeepsFragmentStructure: sharding thins fragments but
+// never changes the degree of partitioning — the local parallel plan shape
+// survives.
+func TestShardRelationKeepsFragmentStructure(t *testing.T) {
+	db := New()
+	if err := db.CreateWisconsin("wisc", 600, 4, "unique2", 42); err != nil {
+		t.Fatal(err)
+	}
+	before, err := db.Degree("wisc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ShardRelation("wisc", "unique2", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	after, err := db.Degree("wisc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Errorf("degree changed %d -> %d across sharding", before, after)
+	}
+	sizes, err := db.FragmentSizes("wisc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != before {
+		t.Errorf("fragment count %d, want %d", len(sizes), before)
+	}
+	var sum int
+	for _, s := range sizes {
+		sum += s
+	}
+	card, _ := db.Cardinality("wisc")
+	if sum != card {
+		t.Errorf("fragment sizes sum to %d, cardinality says %d", sum, card)
+	}
+}
+
+// TestShardRelationQueriesSeeOnlyTheShard: a query after sharding runs over
+// the shard alone, and a grouped aggregate's per-shard partials sum to the
+// global counts — the property the coordinator's merge step builds on.
+func TestShardRelationQueriesSeeOnlyTheShard(t *testing.T) {
+	const card, shards = 900, 3
+	dbs := shardedCopies(t, card, shards)
+
+	merged := make(map[int64]int64)
+	for _, db := range dbs {
+		rows, err := db.QueryAll("SELECT ten, COUNT(*) FROM wisc GROUP BY ten", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows.Data {
+			merged[r[0].(int64)] += r[1].(int64)
+		}
+	}
+	keys := make([]int64, 0, len(merged))
+	var sum int64
+	for k, v := range merged {
+		keys = append(keys, k)
+		sum += v
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if len(keys) != 10 || sum != card {
+		t.Errorf("merged partial COUNTs: %d groups summing to %d, want 10 and %d", len(keys), sum, card)
+	}
+}
+
+// TestShardRelationBounds: nonsense shard coordinates, unknown relations and
+// unknown distribution columns are rejected.
+func TestShardRelationBounds(t *testing.T) {
+	db := New()
+	if err := db.CreateWisconsin("wisc", 100, 4, "unique2", 42); err != nil {
+		t.Fatal(err)
+	}
+	for name, call := range map[string]func() error{
+		"zero shards":      func() error { return db.ShardRelation("wisc", "unique2", 0, 0) },
+		"negative shards":  func() error { return db.ShardRelation("wisc", "unique2", 0, -1) },
+		"negative shard":   func() error { return db.ShardRelation("wisc", "unique2", -1, 3) },
+		"shard past count": func() error { return db.ShardRelation("wisc", "unique2", 3, 3) },
+		"unknown relation": func() error { return db.ShardRelation("nope", "unique2", 0, 3) },
+		"unknown column":   func() error { return db.ShardRelation("wisc", "nope", 0, 3) },
+	} {
+		if call() == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
