@@ -102,6 +102,7 @@ func main() {
 		bCard       = flag.Int("bcard", 1_000, "join relation B cardinality")
 		degree      = flag.Int("degree", 20, "degree of partitioning")
 		skew        = flag.Float64("skew", 0, "Zipf skew of A's fragment sizes (0..1)")
+		mem         = flag.Int64("mem", 0, "working-memory budget in bytes: blocking operators spill to disk beyond it (0 = unlimited); in batch mode it is the manager's machine-wide memory budget")
 		concurrency = flag.Int("concurrency", 1, "batch mode: workers firing statements through the QueryManager")
 		repeat      = flag.Int("repeat", 10, "batch mode: executions of each statement per worker")
 		budget      = flag.Int("budget", 0, "batch mode: manager thread budget (0 = GOMAXPROCS)")
@@ -124,6 +125,9 @@ func main() {
 	if *batchGrain < 0 {
 		fatal(fmt.Errorf("-batchgrain %d is negative (0 = engine default, 1 = per-tuple pushes)", *batchGrain))
 	}
+	if *mem < 0 {
+		fatal(fmt.Errorf("-mem %d is negative (0 = unlimited)", *mem))
+	}
 
 	db := dbs3.New()
 	if err := db.CreateWisconsin("wisc", *wisc, *degree, "unique2", 42); err != nil {
@@ -134,6 +138,12 @@ func main() {
 	}
 
 	opt := &dbs3.Options{Threads: *threads, Strategy: *strategy, JoinAlgo: *joinAlgo, Priority: *priority, Materialize: *materialize, BatchGrain: *batchGrain}
+	if *concurrency <= 1 {
+		// Single-statement mode: -mem bounds this query directly. Batch mode
+		// instead hands it to the manager as the machine-wide budget, and
+		// admission grants each query its share.
+		opt.MemoryBudget = *mem
+	}
 	if *explain {
 		if *concurrency > 1 {
 			fatal(fmt.Errorf("-explain and -concurrency are mutually exclusive"))
@@ -146,7 +156,7 @@ func main() {
 		return
 	}
 	if *concurrency > 1 {
-		runBatch(db, *query, opt, *concurrency, *repeat, *budget)
+		runBatch(db, *query, opt, *concurrency, *repeat, *budget, *mem)
 		return
 	}
 
@@ -204,7 +214,7 @@ func runStreaming(db *dbs3.Database, query string, opt *dbs3.Options, limit int)
 // summary shows the feedback loop at work — mean threads per query shrink as
 // concurrency saturates the budget, total allocation never exceeds it — and
 // the plan cache amortizing compilation across repeats.
-func runBatch(db *dbs3.Database, query string, opt *dbs3.Options, workers, repeat, budget int) {
+func runBatch(db *dbs3.Database, query string, opt *dbs3.Options, workers, repeat, budget int, mem int64) {
 	var raw []string
 	for _, s := range strings.Split(query, ";") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -217,7 +227,7 @@ func runBatch(db *dbs3.Database, query string, opt *dbs3.Options, workers, repea
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)
 	}
-	m := db.Manager(dbs3.ManagerConfig{Budget: budget})
+	m := db.Manager(dbs3.ManagerConfig{Budget: budget, MemoryBudget: mem})
 
 	stmts := make([]*dbs3.Stmt, len(raw))
 	for i, s := range raw {
@@ -277,6 +287,10 @@ func runBatch(db *dbs3.Database, query string, opt *dbs3.Options, workers, repea
 	if st.Readmissions > 0 {
 		fmt.Printf("  readmissions:   %d at chain boundaries (%d threads returned early, %d grown mid-flight)\n",
 			st.Readmissions, st.ThreadsReturnedEarly, st.ThreadsGrownMidFlight)
+	}
+	if st.MemBudget > 0 {
+		fmt.Printf("  memory:         budget %d bytes, peak reserved %d, spilled %d bytes over %d pass(es)\n",
+			st.MemBudget, st.PeakMem, st.SpilledBytes, st.SpillPasses)
 	}
 	fmt.Printf("  plan cache:     %d hits, %d misses\n", st.PlanCacheHits, st.PlanCacheMisses)
 	if failures > 0 {

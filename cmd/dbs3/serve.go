@@ -27,6 +27,7 @@ func serveMain(args []string) {
 		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
 		budget   = fs.Int("budget", 0, "manager thread budget shared by all clients (0 = GOMAXPROCS)")
 		queue    = fs.Int("queue", 0, "admission queue depth; beyond it queries are shed with 503 (0 = 4x budget)")
+		mem      = fs.Int64("mem", 0, "manager working-memory budget in bytes, reserved per query at admission; blocking operators spill to disk beyond their grant (0 = memory admission off)")
 		priority = fs.String("priority", "interactive", "default admission class for requests that set none: interactive, batch")
 		stmtTTL  = fs.Duration("stmt-ttl", 0, "idle lifetime of server-side prepared statements (0 = 15m, negative = never expire)")
 		token    = fs.String("token", "", "bearer token required on every request (empty = no auth)")
@@ -94,7 +95,7 @@ func serveMain(args []string) {
 		fatal(fmt.Errorf("-shard %d without -shards", *shard))
 	}
 
-	m := db.Manager(dbs3.ManagerConfig{Budget: *budget, MaxQueued: *queue})
+	m := db.Manager(dbs3.ManagerConfig{Budget: *budget, MaxQueued: *queue, MemoryBudget: *mem})
 	handler := server.New(db, m, server.Config{
 		DefaultOptions: dbs3.Options{Priority: *priority},
 		StmtTTL:        *stmtTTL,

@@ -91,6 +91,7 @@ import (
 	"dbs3/internal/partition"
 	"dbs3/internal/relation"
 	dbruntime "dbs3/internal/runtime"
+	"dbs3/internal/storage"
 	"dbs3/internal/workload"
 )
 
@@ -107,6 +108,10 @@ type Database struct {
 	// is the catalog version, bumped on DDL so stale plans miss.
 	cache *planCache
 	epoch atomic.Uint64
+
+	// poolMetrics aggregates spill buffer-pool hit/miss/resident counters
+	// across every query the facade runs (see BufferPoolStats).
+	poolMetrics storage.PoolMetrics
 }
 
 // New creates an empty database.
@@ -130,6 +135,13 @@ type ManagerConfig struct {
 	// is served next as soon as its threads fit the free budget — and
 	// after twice this many, unconditionally. 0 defaults to 4.
 	BatchAging int
+	// MemoryBudget is the machine-wide working-memory budget in bytes,
+	// reserved next to threads at admission: each query is granted
+	// min(cost-model estimate, Options.MemoryBudget ceiling, free budget),
+	// blocking operators spill to disk beyond the grant, and a query whose
+	// minimum grant does not fit waits in the queue instead of OOMing the
+	// process. 0 disables memory admission.
+	MemoryBudget int64
 }
 
 // Manager installs a QueryManager sized by cfg and returns it. Once
@@ -138,11 +150,19 @@ type ManagerConfig struct {
 // utilization measured from the others' allocated threads. Installing a
 // new manager replaces the previous one for future queries.
 func (db *Database) Manager(cfg ManagerConfig) *dbruntime.Manager {
-	m := dbruntime.NewManager(dbruntime.Config{Budget: cfg.Budget, MaxQueued: cfg.MaxQueued, BatchAging: cfg.BatchAging})
+	m := dbruntime.NewManager(dbruntime.Config{Budget: cfg.Budget, MaxQueued: cfg.MaxQueued, BatchAging: cfg.BatchAging, MemoryBudget: cfg.MemoryBudget})
 	db.mu.Lock()
 	db.manager = m
 	db.mu.Unlock()
 	return m
+}
+
+// BufferPoolStats reports the spill buffer-pool counters aggregated across
+// every query this database ran under a memory budget: read-back page hits
+// (including waits on a fetch already in flight), misses that went to disk,
+// and the pages currently resident. All zero until a query spills.
+func (db *Database) BufferPoolStats() (hits, misses, resident int64) {
+	return db.poolMetrics.Snapshot()
 }
 
 // Relations returns the registered relation names, sorted.
@@ -348,6 +368,19 @@ type Options struct {
 	// Negative values are rejected at Prepare with an error — there is no
 	// sensible meaning to clamp them to silently.
 	BatchGrain int
+	// MemoryBudget caps the query's blocking-operator working memory in
+	// bytes: join build sides, aggregate group tables and stage stores
+	// share the budget through an accountant and spill to disk (Grace
+	// partitioning for joins, sorted runs for aggregates and stores) when
+	// they exceed it, so results are identical either way. Under a
+	// QueryManager with a machine-wide MemoryBudget this is a ceiling on
+	// the admission grant; without one it bounds the query directly. 0 =
+	// unlimited (never spill); negative values are rejected.
+	MemoryBudget int64
+	// SpillDir is the directory for spill temp files ("" = os.TempDir()).
+	// Files are created unlinked-on-close and removed on every exit path,
+	// including cancellation.
+	SpillDir string
 	// NoVectorize forces the per-tuple operator path: activation batches
 	// are unpacked into individual OnTuple calls even for operators with a
 	// vectorized OnBatch implementation — the paper's original processing
@@ -366,6 +399,9 @@ func (o *Options) validate() error {
 	}
 	if o.BatchGrain < 0 {
 		return fmt.Errorf("dbs3: BatchGrain %d is negative (0 = engine default, 1 = per-tuple pushes)", o.BatchGrain)
+	}
+	if o.MemoryBudget < 0 {
+		return fmt.Errorf("dbs3: MemoryBudget %d is negative (0 = unlimited)", o.MemoryBudget)
 	}
 	return nil
 }
@@ -432,6 +468,12 @@ type OperatorStats struct {
 	Activations    int64 `json:"activations"`
 	Emitted        int64 `json:"emitted"`
 	SecondaryPicks int64 `json:"secondaryPicks"`
+	// SpilledBytes and SpillPasses record the operator's larger-than-memory
+	// activity under a memory budget: bytes written to spill runs and
+	// partition/merge passes taken. Zero (and omitted on the wire) for
+	// operators that fit their grant.
+	SpilledBytes int64 `json:"spilledBytes,omitempty"`
+	SpillPasses  int64 `json:"spillPasses,omitempty"`
 }
 
 // Query compiles (or reuses a cached plan for) and executes one ESQL
@@ -541,6 +583,9 @@ func (db *Database) explainChains(plan *lera.Plan, opt *Options) string {
 			names[i] = plan.Graph.Nodes[id].Name
 		}
 		fmt.Fprintf(&b, "// chain %d: threads=%d want=%d nodes=%s\n", ci, alloc.Chain[ci], alloc.Want(ci), strings.Join(names, " -> "))
+	}
+	if alloc.MemEstimate > 0 {
+		fmt.Fprintf(&b, "// memory estimate: %d bytes peak (per chain: %v); operators spill to disk beyond the admitted grant\n", alloc.MemEstimate, alloc.ChainMem)
 	}
 	if len(plan.Chains) > 1 {
 		b.WriteString("// multi-chain plan: a QueryManager renegotiates the reservation at each chain boundary (want, throttled by live utilization)\n")

@@ -11,6 +11,7 @@ import (
 	"dbs3/internal/operator"
 	"dbs3/internal/partition"
 	"dbs3/internal/relation"
+	"dbs3/internal/storage"
 )
 
 // DB maps relation names to their in-memory partitioned form. The engine
@@ -92,6 +93,23 @@ type Options struct {
 	Readmit func(chain, want, min int) int
 	// CostModel weighs plan complexity estimation; zero value = defaults.
 	CostModel *lera.CostModel
+	// MemoryBudget is the query's memory grant in bytes for blocking
+	// operator state (join build sides, aggregate group tables, stage
+	// stores). Exceeding it makes those operators spill to temp files under
+	// SpillDir and continue — Grace-style recursive partitioning for hash
+	// and temp-index joins, sorted-run merge for aggregates, run flushes
+	// for stores. 0 = unlimited: everything stays in memory, the paper's
+	// regime. An admission controller sets this to the bytes it actually
+	// reserved (runtime.Manager.Admit).
+	MemoryBudget int64
+	// SpillDir is where spill temp files are created ("" = os.TempDir()).
+	SpillDir string
+	// Spill, when set, is the query's externally owned spill environment —
+	// the facade creates one so it can share a process-wide buffer-pool
+	// metrics sink and renegotiate the grant mid-query. The engine then
+	// ignores MemoryBudget/SpillDir and does NOT close the env. When nil
+	// and MemoryBudget > 0 the engine creates and cleans up its own.
+	Spill *storage.SpillEnv
 	// StreamOutput names a store output to stream instead of materialize:
 	// the store node's tuples are handed to Sink as its instances produce
 	// them and never collected into Result.Outputs. The named output must
@@ -214,7 +232,7 @@ func PlanAllocation(plan *lera.Plan, db DB, opts Options) (Allocation, error) {
 		cm = *opts.CostModel
 	}
 	costs := lera.Estimate(plan, cm)
-	return Allocate(plan, costs, func(id int) []float64 { return instanceCosts(plan, db, id) }, SchedulerOptions{
+	alloc := Allocate(plan, costs, func(id int) []float64 { return instanceCosts(plan, db, id) }, SchedulerOptions{
 		Threads:          opts.Threads,
 		Processors:       opts.Processors,
 		StartupCost:      opts.StartupCost,
@@ -223,7 +241,9 @@ func PlanAllocation(plan *lera.Plan, db DB, opts Options) (Allocation, error) {
 		Utilization:      opts.Utilization,
 		ConcurrentChains: opts.ConcurrentChains,
 		Machine:          opts.Machine,
-	}), nil
+	})
+	alloc.ChainMem, alloc.MemEstimate = estimateMemory(plan, costs, opts)
+	return alloc, nil
 }
 
 // ExecuteAllocated runs a plan with a precomputed thread allocation (from
@@ -236,6 +256,18 @@ func ExecuteAllocated(ctx context.Context, plan *lera.Plan, db DB, opts Options,
 	}
 	if err := checkStream(plan, opts); err != nil {
 		return nil, err
+	}
+	// Larger-than-memory execution: with a memory grant and no externally
+	// owned spill environment, create one for this query. The deferred
+	// Close covers every exit path — success, error, cancellation — so an
+	// aborted query never leaves spill temp files or open descriptors.
+	if opts.Spill == nil && opts.MemoryBudget > 0 {
+		env, err := storage.NewSpillEnv(opts.SpillDir, opts.MemoryBudget, storage.PoolPagesFor(opts.MemoryBudget), nil)
+		if err != nil {
+			return nil, err
+		}
+		defer env.Close()
+		opts.Spill = env
 	}
 	// Working copy: store outputs become visible to later chains.
 	work := make(DB, len(db)+len(plan.Outputs))
@@ -594,6 +626,14 @@ func runChain(ctx context.Context, plan *lera.Plan, chain []int, db DB, alloc Al
 		}
 	}
 
+	// Harvest spill counters into the per-node stats.
+	for _, id := range chain {
+		if bytes, passes := ops[id].SpillStats(); bytes != 0 || passes != 0 {
+			res.Stats[id].SpilledBytes.Store(bytes)
+			res.Stats[id].SpillPasses.Store(passes)
+		}
+	}
+
 	// Collect materializations into the working database.
 	mu.Lock()
 	defer mu.Unlock()
@@ -601,7 +641,11 @@ func runChain(ctx context.Context, plan *lera.Plan, chain []int, db DB, alloc Al
 		n := plan.Graph.Nodes[id]
 		bn := plan.Nodes[id]
 		key := storeKey(plan, id)
-		p, err := partition.FromFragments(n.As, bn.InSchema, key, store.Results(), 1)
+		frags, err := store.Results()
+		if err != nil {
+			return err
+		}
+		p, err := partition.FromFragments(n.As, bn.InSchema, key, frags, 1)
 		if err != nil {
 			return err
 		}
@@ -641,11 +685,11 @@ func buildOperation(plan *lera.Plan, id int, db DB, alloc Allocation, opts Optio
 	case lera.OpTransmit:
 		op = &operator.Transmit{}
 	case lera.OpJoin:
-		op = &operator.Join{Algo: n.Algo, BuildKey: bn.BuildKeyIdx, ProbeKey: bn.ProbeKeyIdx}
+		op = &operator.Join{Algo: n.Algo, BuildKey: bn.BuildKeyIdx, ProbeKey: bn.ProbeKeyIdx, Spill: opts.Spill}
 	case lera.OpMap:
 		op = &operator.Map{Cols: bn.ColsIdx}
 	case lera.OpAggregate:
-		op = &operator.Aggregate{GroupBy: bn.GroupIdx, Kind: n.Agg, AggCol: bn.AggIdx}
+		op = &operator.Aggregate{GroupBy: bn.GroupIdx, Kind: n.Agg, AggCol: bn.AggIdx, Spill: opts.Spill}
 	case lera.OpStore:
 		if n.As == opts.StreamOutput && opts.Sink != nil {
 			sink := &operator.Sink{Push: opts.Sink.Push}
@@ -655,6 +699,7 @@ func buildOperation(plan *lera.Plan, id int, db DB, alloc Allocation, opts Optio
 			op = sink
 		} else {
 			store = operator.NewStore(degree)
+			store.Spill = opts.Spill
 			op = store
 		}
 	default:

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"dbs3/internal/lera"
+	"dbs3/internal/relation"
+)
+
+// Memory estimation for multi-resource admission: each chain's blocking
+// operators (join build structures, aggregate group tables, stage stores)
+// are priced from the optimizer's cardinality estimates, giving the
+// admission controller a per-query byte figure to reserve alongside the
+// thread count. The estimate is a planning figure, not an enforcement
+// boundary — enforcement is the spill accountant, which makes operators
+// degrade to disk at whatever grant admission actually gave.
+
+// Per-entry overheads mirroring the operator-side accounting: a resident
+// tuple beyond its encoded bytes, a join index entry, an aggregate
+// accumulator.
+const (
+	estTupleOverhead = 48
+	estIndexEntry    = 24
+	estAggState      = 96
+)
+
+// estTupleBytes prices one resident tuple of the schema: encoded width
+// (strings assumed short) plus the in-memory overhead.
+func estTupleBytes(s *relation.Schema) int64 {
+	if s == nil {
+		return 64 + estTupleOverhead
+	}
+	n := int64(2)
+	for _, c := range s.Columns() {
+		if c.Type == relation.TInt {
+			n += 9
+		} else {
+			n += 5 + 12
+		}
+	}
+	return n + estTupleOverhead
+}
+
+// estRelCard mirrors the optimizer's relation-cardinality rule: true
+// fragment sizes when bound, a nominal 1000 tuples per fragment otherwise.
+func estRelCard(ri lera.RelInfo) float64 {
+	n := 0
+	for _, s := range ri.FragSizes {
+		n += s
+	}
+	if n == 0 && ri.Degree > 0 {
+		return float64(ri.Degree) * 1000
+	}
+	return float64(n)
+}
+
+// estimateMemory prices each chain's blocking-operator working set and the
+// query's peak (the largest chain: chains run sequentially, and a chain's
+// materialized output is priced into the chain that writes it). A streamed
+// store accumulates nothing and costs nothing.
+func estimateMemory(plan *lera.Plan, costs *lera.Costs, opts Options) (perChain []int64, peak int64) {
+	perChain = make([]int64, len(plan.Chains))
+	for ci, chain := range plan.Chains {
+		var need int64
+		for _, id := range chain {
+			bn := plan.Nodes[id]
+			switch bn.Node.Kind {
+			case lera.OpJoin:
+				if bn.Node.Algo == lera.NestedLoop {
+					continue // probes the resident fragment; no build structure
+				}
+				w := estTupleBytes(bn.Build.Schema)
+				need += int64(estRelCard(bn.Build) * float64(w+estIndexEntry))
+			case lera.OpAggregate:
+				need += int64(costs.OutCard[id] * float64(estTupleBytes(bn.InSchema)+estAggState))
+			case lera.OpStore:
+				if bn.Node.As == opts.StreamOutput {
+					continue
+				}
+				var in float64
+				for _, e := range plan.Graph.In(id) {
+					in += costs.OutCard[e.From]
+				}
+				need += int64(in * float64(estTupleBytes(bn.InSchema)))
+			}
+		}
+		perChain[ci] = need
+		if need > peak {
+			peak = need
+		}
+	}
+	return perChain, peak
+}

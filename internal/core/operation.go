@@ -25,6 +25,11 @@ type OpStats struct {
 	SecondaryPicks atomic.Int64
 	// Setups is the number of instance setups executed.
 	Setups atomic.Int64
+	// SpilledBytes and SpillPasses count this node's larger-than-memory
+	// activity: bytes written to spill files and partitioning/run-writing
+	// sweeps. Zero for operators that stayed within the memory grant.
+	SpilledBytes atomic.Int64
+	SpillPasses  atomic.Int64
 	// perWorker[w] counts activations processed by pool thread w; the
 	// spread across workers is the operation's load balance, the quantity
 	// the whole execution model optimizes.
@@ -351,6 +356,21 @@ func (o *Operation) wake() {
 
 // Stats exposes the operation's counters.
 func (o *Operation) Stats() *OpStats { return o.stats }
+
+// spiller is implemented by operators that can go to disk (Join, Aggregate,
+// Store via their embedded spill counters).
+type spiller interface {
+	SpillStats() (bytes, passes int64)
+}
+
+// SpillStats reports the operator's spill counters; (0, 0) for operators
+// that never spill.
+func (o *Operation) SpillStats() (bytes, passes int64) {
+	if sp, ok := o.op.(spiller); ok {
+		return sp.SpillStats()
+	}
+	return 0, 0
+}
 
 // Degree returns the instance count.
 func (o *Operation) Degree() int { return len(o.Queues) }

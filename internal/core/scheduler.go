@@ -79,6 +79,16 @@ type Allocation struct {
 	// Strategy[id] is node id's consumption strategy (step 4).
 	Strategy map[int]StrategyKind
 
+	// MemEstimate is the estimated peak working-set bytes of the query's
+	// blocking operators — what a memory-aware admission controller
+	// reserves next to Total. ChainMem[c] is chain c's own need, so a
+	// chain-boundary renegotiation can shrink the reservation to what the
+	// remaining chains still require. Both are estimates; enforcement is
+	// the spill accountant, which degrades the operators to disk at
+	// whatever grant admission actually gave.
+	MemEstimate int64
+	ChainMem    []int64
+
 	// nodeCost[id] is the complexity estimate step 3 distributed threads
 	// by, kept so ResizeChain can re-run the distribution for a
 	// renegotiated chain total.

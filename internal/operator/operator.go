@@ -13,6 +13,7 @@ import (
 
 	"dbs3/internal/lera"
 	"dbs3/internal/relation"
+	"dbs3/internal/storage"
 )
 
 // Emit sends one result tuple downstream. The engine routes it to the right
@@ -227,17 +228,30 @@ func (m *Map) OnBatch(_ *Context, ts []relation.Tuple, emit Emit) error {
 
 // Store materializes its input: tuples accumulate per instance and the
 // engine collects Results when the operation completes. Store terminates a
-// pipeline chain (a materialization point between subqueries).
+// pipeline chain (a materialization point between subqueries). With a Spill
+// env, an instance whose accumulation exceeds the query's memory grant
+// flushes its buffered tuples to a spill run and keeps going; Results reads
+// the runs back in.
 type Store struct {
 	nopSetup
 	nopClose
 	mu      sync.Mutex
 	results [][]relation.Tuple
+	bytes   []int64
+	runs    [][]storage.Run
+	// Spill enables larger-than-memory accumulation; nil stores everything
+	// in memory (the paper's regime).
+	Spill *storage.SpillEnv
+	spillCounters
 }
 
 // NewStore creates a store with the given instance count.
 func NewStore(degree int) *Store {
-	return &Store{results: make([][]relation.Tuple, degree)}
+	return &Store{
+		results: make([][]relation.Tuple, degree),
+		bytes:   make([]int64, degree),
+		runs:    make([][]storage.Run, degree),
+	}
 }
 
 // OnTrigger implements Operator.
@@ -246,9 +260,10 @@ func (s *Store) OnTrigger(*Context, Emit) error { return errNoTrigger("store") }
 // OnTuple implements Operator.
 func (s *Store) OnTuple(ctx *Context, t relation.Tuple, _ Emit) error {
 	s.mu.Lock()
-	s.results[ctx.Instance] = append(s.results[ctx.Instance], t)
-	s.mu.Unlock()
-	return nil
+	defer s.mu.Unlock()
+	i := ctx.Instance
+	s.results[i] = append(s.results[i], t)
+	return s.chargeLocked(i, storage.TupleFootprint(t))
 }
 
 // OnBatch implements BatchOperator: one lock acquire appends the whole run
@@ -256,17 +271,72 @@ func (s *Store) OnTuple(ctx *Context, t relation.Tuple, _ Emit) error {
 // retained).
 func (s *Store) OnBatch(ctx *Context, ts []relation.Tuple, _ Emit) error {
 	s.mu.Lock()
-	s.results[ctx.Instance] = append(s.results[ctx.Instance], ts...)
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	i := ctx.Instance
+	s.results[i] = append(s.results[i], ts...)
+	var add int64
+	for _, t := range ts {
+		add += storage.TupleFootprint(t)
+	}
+	return s.chargeLocked(i, add)
+}
+
+// chargeLocked accounts freshly buffered bytes and flushes the instance to
+// a spill run when the query's grant is exceeded. Flushing waits for at
+// least a page of buffered tuples so overrun never degenerates into a run
+// per tuple; the caller holds s.mu.
+func (s *Store) chargeLocked(i int, add int64) error {
+	s.bytes[i] += add
+	if s.Spill == nil {
+		return nil
+	}
+	if s.Spill.Mem.Reserve(add) || s.bytes[i] < storage.PageSize {
+		return nil
+	}
+	w := s.Spill.NewRun()
+	for _, t := range s.results[i] {
+		if err := w.Add(t); err != nil {
+			return err
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		return err
+	}
+	s.runs[i] = append(s.runs[i], run)
+	s.notePass(run.Bytes(), s.Spill)
+	s.Spill.Mem.Release(s.bytes[i])
+	s.bytes[i] = 0
+	s.results[i] = nil
 	return nil
 }
 
-// Results returns the materialized fragments. Call only after execution
-// completes.
-func (s *Store) Results() [][]relation.Tuple {
+// Results returns the materialized fragments, reading spilled runs back
+// through the buffer pool. Call only after execution completes.
+func (s *Store) Results() ([][]relation.Tuple, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.results
+	out := make([][]relation.Tuple, len(s.results))
+	for i := range s.results {
+		if len(s.runs[i]) == 0 {
+			out[i] = s.results[i]
+			continue
+		}
+		n := len(s.results[i])
+		for _, r := range s.runs[i] {
+			n += r.Len()
+		}
+		frag := make([]relation.Tuple, 0, n)
+		for _, r := range s.runs[i] {
+			ts, err := r.All()
+			if err != nil {
+				return nil, err
+			}
+			frag = append(frag, ts...)
+		}
+		out[i] = append(frag, s.results[i]...)
+	}
+	return out, nil
 }
 
 // Sink terminates a pipeline chain like Store, but hands each tuple to an
@@ -386,10 +456,37 @@ type Join struct {
 	Algo     lera.JoinAlgo
 	BuildKey []int
 	ProbeKey []int
+	// Spill enables Grace-style larger-than-memory execution for the hash
+	// and temp-index algorithms: a build side exceeding the query's memory
+	// grant is partitioned to disk, probe tuples are routed to matching
+	// partitions, and OnClose joins partition pairs (recursively
+	// repartitioning ones that still don't fit). Nil means always in
+	// memory; nested loop never spills (it probes the resident fragment
+	// directly and builds no auxiliary state).
+	Spill *storage.SpillEnv
+	spillCounters
 }
 
-// Setup implements Operator: builds the hash table or temporary index.
+// Setup implements Operator: builds the hash table or temporary index, or —
+// when the build side exceeds the memory grant — partitions it to disk.
 func (j *Join) Setup(ctx *Context) error {
+	if j.Spill != nil && j.Algo != lera.NestedLoop {
+		need := buildFootprint(ctx.Build)
+		if !j.Spill.Mem.Reserve(need) {
+			j.Spill.Mem.Release(need)
+			g, err := j.newGraceState(ctx.Build, 0)
+			if err != nil {
+				return err
+			}
+			ctx.State = g
+			return nil
+		}
+	}
+	return j.buildState(ctx)
+}
+
+// buildState constructs the in-memory build structure for ctx.Build.
+func (j *Join) buildState(ctx *Context) error {
 	switch j.Algo {
 	case lera.NestedLoop:
 		// No auxiliary structure: probing scans the fragment.
@@ -483,6 +580,9 @@ func joinKeysEqual(b, p relation.Tuple, bk, pk []int) bool {
 // OnTrigger implements Operator: the triggered join processes its whole
 // bound probe fragment as one sequential unit of work.
 func (j *Join) OnTrigger(ctx *Context, emit Emit) error {
+	if g, ok := ctx.State.(*graceState); ok {
+		return g.addProbeBatch(j, ctx.Probe)
+	}
 	for _, t := range ctx.Probe {
 		j.probe(ctx, t, emit)
 	}
@@ -492,12 +592,21 @@ func (j *Join) OnTrigger(ctx *Context, emit Emit) error {
 // OnTuple implements Operator: the pipelined join probes one redistributed
 // tuple (a fine-grain unit of work).
 func (j *Join) OnTuple(ctx *Context, t relation.Tuple, emit Emit) error {
+	if g, ok := ctx.State.(*graceState); ok {
+		return g.addProbe(j, t)
+	}
 	j.probe(ctx, t, emit)
 	return nil
 }
 
-// OnClose implements Operator.
-func (j *Join) OnClose(*Context, Emit) error { return nil }
+// OnClose implements Operator: an instance that went to disk joins its
+// partition pairs here, after the last probe activation.
+func (j *Join) OnClose(ctx *Context, emit Emit) error {
+	if g, ok := ctx.State.(*graceState); ok {
+		return j.closeGrace(g, emit, 0)
+	}
+	return nil
+}
 
 // OnBatch implements BatchOperator: the whole probe run is key-hashed in one
 // pass (one bounds-checked loop over the key columns, no per-call overhead
@@ -505,6 +614,9 @@ func (j *Join) OnClose(*Context, Emit) error { return nil }
 // first. Nested loop has no key structure to amortize; it scans per tuple
 // exactly like the per-tuple path.
 func (j *Join) OnBatch(ctx *Context, ts []relation.Tuple, emit Emit) error {
+	if g, ok := ctx.State.(*graceState); ok {
+		return g.addProbeBatch(j, ts)
+	}
 	switch j.Algo {
 	case lera.HashJoin:
 		idx := ctx.State.(*buildIndex)
@@ -558,11 +670,24 @@ type aggState struct {
 
 // Aggregate groups pipelined tuples and emits one result per group on close.
 // Groups must be routed so a group lands on exactly one instance (the plan
-// validator enforces hash routing on the group key).
+// validator enforces hash routing on the group key). With a Spill env, an
+// instance whose group table exceeds the query's memory grant writes the
+// accumulators as a group-key-sorted run and starts fresh; OnClose merges
+// the runs with the final in-memory table, combining accumulators groupwise.
 type Aggregate struct {
 	GroupBy []int
 	Kind    lera.AggKind
 	AggCol  int // -1 for COUNT
+	Spill   *storage.SpillEnv
+	spillCounters
+}
+
+// aggInst is the per-instance aggregation state: the live group table plus
+// any spilled runs. All fields are guarded by ctx.Mu.
+type aggInst struct {
+	groups map[uint64][]*aggState
+	bytes  int64 // accounted resident bytes of groups
+	runs   []storage.Run
 }
 
 // groupMatches reports whether tuple t belongs to the group keyed by g: g
@@ -578,7 +703,7 @@ func groupMatches(g, t relation.Tuple, cols []int) bool {
 
 // Setup implements Operator.
 func (a *Aggregate) Setup(ctx *Context) error {
-	ctx.State = make(map[uint64][]*aggState)
+	ctx.State = &aggInst{groups: make(map[uint64][]*aggState)}
 	return nil
 }
 
@@ -593,8 +718,7 @@ func (a *Aggregate) OnTuple(ctx *Context, t relation.Tuple, _ Emit) error {
 	key := hashKey(t, a.GroupBy)
 	ctx.Mu.Lock()
 	defer ctx.Mu.Unlock()
-	a.accumulateLocked(ctx.State.(map[uint64][]*aggState), key, t)
-	return nil
+	return a.accumulateLocked(ctx.State.(*aggInst), key, t)
 }
 
 // OnBatch implements BatchOperator: the whole run is group-hashed outside
@@ -606,20 +730,24 @@ func (a *Aggregate) OnBatch(ctx *Context, ts []relation.Tuple, _ Emit) error {
 	sc := scratchPool.Get().(*batchScratch)
 	keys := hashKeys(ts, a.GroupBy, sc.keys[:0])
 	ctx.Mu.Lock()
-	groups := ctx.State.(map[uint64][]*aggState)
+	inst := ctx.State.(*aggInst)
+	var err error
 	for i, t := range ts {
-		a.accumulateLocked(groups, keys[i], t)
+		if err = a.accumulateLocked(inst, keys[i], t); err != nil {
+			break
+		}
 	}
 	ctx.Mu.Unlock()
 	sc.keys = keys
 	scratchPool.Put(sc)
-	return nil
+	return err
 }
 
-// accumulateLocked folds one tuple into its group; the caller holds ctx.Mu.
-func (a *Aggregate) accumulateLocked(groups map[uint64][]*aggState, key uint64, t relation.Tuple) {
+// accumulateLocked folds one tuple into its group, spilling the group table
+// when a new group pushes it past the memory grant; the caller holds ctx.Mu.
+func (a *Aggregate) accumulateLocked(inst *aggInst, key uint64, t relation.Tuple) error {
 	var st *aggState
-	for _, cand := range groups[key] {
+	for _, cand := range inst.groups[key] {
 		if groupMatches(cand.group, t, a.GroupBy) {
 			st = cand
 			break
@@ -627,7 +755,20 @@ func (a *Aggregate) accumulateLocked(groups map[uint64][]*aggState, key uint64, 
 	}
 	if st == nil {
 		st = &aggState{group: t.Project(a.GroupBy)}
-		groups[key] = append(groups[key], st)
+		inst.groups[key] = append(inst.groups[key], st)
+		add := storage.TupleFootprint(st.group) + aggStateOverhead
+		inst.bytes += add
+		if a.Spill != nil && !a.Spill.Mem.Reserve(add) {
+			if err := a.spillLocked(inst); err != nil {
+				return err
+			}
+			// The just-created group spilled with the rest; re-create it so
+			// this tuple has somewhere to accumulate.
+			st = &aggState{group: t.Project(a.GroupBy)}
+			inst.groups[key] = append(inst.groups[key], st)
+			inst.bytes += add
+			a.Spill.Mem.Reserve(add)
+		}
 	}
 	st.count++
 	if a.AggCol >= 0 {
@@ -646,27 +787,39 @@ func (a *Aggregate) accumulateLocked(groups map[uint64][]*aggState, key uint64, 
 		}
 		st.seen = true
 	}
+	return nil
 }
 
-// OnClose implements Operator: emits one tuple per group.
+// final renders one group's result tuple.
+func (a *Aggregate) final(st *aggState) relation.Tuple {
+	var v relation.Value
+	switch a.Kind {
+	case lera.AggCount:
+		v = relation.Int(st.count)
+	case lera.AggSum:
+		v = relation.Int(st.sum)
+	case lera.AggMin:
+		v = st.min
+	case lera.AggMax:
+		v = st.max
+	}
+	return st.group.Concat(relation.Tuple{v})
+}
+
+// OnClose implements Operator: emits one tuple per group, merging spilled
+// runs with the in-memory table when the instance overflowed.
 func (a *Aggregate) OnClose(ctx *Context, emit Emit) error {
 	ctx.Mu.Lock()
-	groups := ctx.State.(map[uint64][]*aggState)
-	out := make([]relation.Tuple, 0, len(groups))
-	for _, bucket := range groups {
+	inst := ctx.State.(*aggInst)
+	if len(inst.runs) > 0 {
+		err := a.mergeRunsLocked(inst, emit)
+		ctx.Mu.Unlock()
+		return err
+	}
+	out := make([]relation.Tuple, 0, len(inst.groups))
+	for _, bucket := range inst.groups {
 		for _, st := range bucket {
-			var v relation.Value
-			switch a.Kind {
-			case lera.AggCount:
-				v = relation.Int(st.count)
-			case lera.AggSum:
-				v = relation.Int(st.sum)
-			case lera.AggMin:
-				v = st.min
-			case lera.AggMax:
-				v = st.max
-			}
-			out = append(out, st.group.Concat(relation.Tuple{v}))
+			out = append(out, a.final(st))
 		}
 	}
 	ctx.Mu.Unlock()

@@ -93,7 +93,10 @@ func TestStoreAccumulatesPerInstance(t *testing.T) {
 	s.OnTuple(&Context{Instance: 1}, kv(1, "a"), emit)
 	s.OnTuple(&Context{Instance: 1}, kv(2, "b"), emit)
 	s.OnTuple(&Context{Instance: 2}, kv(3, "c"), emit)
-	res := s.Results()
+	res, err := s.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res[0]) != 0 || len(res[1]) != 2 || len(res[2]) != 1 {
 		t.Errorf("results = %v", res)
 	}

@@ -35,6 +35,7 @@ import (
 
 	"dbs3/internal/core"
 	"dbs3/internal/lera"
+	"dbs3/internal/storage"
 )
 
 // ErrQueueFull is returned when a query arrives while the bounded admission
@@ -91,6 +92,14 @@ type Config struct {
 	// this many, it is served next unconditionally — blocking the line
 	// until its threads accumulate. 0 defaults to 4.
 	BatchAging int
+	// MemoryBudget is the machine-wide working-memory budget in bytes shared
+	// by all concurrent queries, reserved next to threads: at admission each
+	// query is granted min(its cost-model memory estimate, its caller
+	// ceiling, the free budget) and a query whose minimum grant does not fit
+	// waits in its line instead of OOMing the process. 0 disables memory
+	// admission — queries run with whatever per-query ceiling the caller
+	// set, unmanaged.
+	MemoryBudget int64
 }
 
 // Stats is a snapshot of the manager's aggregate counters.
@@ -112,6 +121,19 @@ type Stats struct {
 	// queries; PeakThreads is its lifetime high-water mark (always <= the
 	// budget).
 	ThreadsInFlight, PeakThreads int
+	// MemBudget is the configured memory budget (0 = memory admission off);
+	// MemInFlight is the byte total currently reserved by active queries and
+	// PeakMem its lifetime high-water mark (always <= MemBudget).
+	MemBudget, MemInFlight, PeakMem int64
+	// SpilledBytes and SpillPasses total the larger-than-memory activity of
+	// finished and in-flight queries: bytes written to spill runs and
+	// partitioning/merge passes taken, as reported by each query's spill
+	// accountant.
+	SpilledBytes, SpillPasses int64
+	// MemReturnedEarly totals the bytes chain-boundary renegotiations handed
+	// back to the memory budget mid-flight (before Finish) — the memory
+	// analogue of ThreadsReturnedEarly. Memory renegotiation is shrink-only.
+	MemReturnedEarly int64
 	// Readmissions counts chain-boundary renegotiations: every time a
 	// multi-chain query re-ran the Figure 5 scheduler step at a
 	// materialization point (Manager.Readmit), whether or not the grant
@@ -159,6 +181,14 @@ type QueryStats struct {
 	// chain order. Empty for single-chain queries, explicit-thread queries
 	// and unmanaged executions (populated at Finish).
 	ChainThreads []int
+	// MemoryGrant is the working-memory byte budget reserved for the query
+	// at admission — min(cost-model estimate, caller ceiling, free budget).
+	// 0 when memory admission is off or the plan has no blocking operators.
+	MemoryGrant int64
+	// SpilledBytes and SpillPasses record the query's larger-than-memory
+	// activity: bytes written to spill runs and partition/merge passes
+	// taken. Zero for queries that fit their grant.
+	SpilledBytes, SpillPasses int64
 }
 
 // ewmaAlpha weighs a completed query's leftover-utilization sample into the
@@ -168,6 +198,14 @@ const (
 	ewmaAlpha = 0.3
 	ewmaBlend = 0.5
 )
+
+// minMemGrant is the smallest working-memory grant a query with any memory
+// need waits for (1 MiB, clamped to the budget when the budget is smaller).
+// Admission never hands out a zero grant to a query that needs memory — a
+// zero grant would read as "unlimited" to the spill accountant — so a query
+// arriving while the budget is exhausted queues until at least this much
+// frees up, rather than OOMing or running unbounded.
+const minMemGrant = 1 << 20
 
 // Manager is the concurrent query runtime: a machine-wide thread budget, a
 // bounded two-class admission queue, and measured-utilization feedback into
@@ -183,14 +221,16 @@ type Manager struct {
 	budget     int
 	maxQueued  int
 	batchAging int
+	memBudget  int64 // working-memory budget in bytes; 0 = memory admission off
 
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	allocated int // threads reserved by in-flight queries
-	queued    [priorityCount]int
-	active    int
-	closed    bool
+	allocated    int   // threads reserved by in-flight queries
+	memAllocated int64 // working-memory bytes reserved by in-flight queries
+	queued       [priorityCount]int
+	active       int
+	closed       bool
 
 	// Two FIFO ticket lines, one per priority class. headLocked picks the
 	// single ticket allowed to admit next; admitting pins it so the choice
@@ -212,7 +252,11 @@ type Manager struct {
 	readmissions    int64
 	threadsReturned int64
 	threadsGrown    int64
+	memReturned     int64
+	spilledBytes    int64
+	spillPasses     int64
 	peak            int
+	peakMem         int64
 }
 
 // planAllocation is the out-of-lock allocation-planning step of Admit,
@@ -231,25 +275,35 @@ func NewManager(cfg Config) *Manager {
 	if cfg.BatchAging <= 0 {
 		cfg.BatchAging = 4
 	}
-	m := &Manager{budget: cfg.Budget, maxQueued: cfg.MaxQueued, batchAging: cfg.BatchAging, admitting: -1}
+	if cfg.MemoryBudget < 0 {
+		cfg.MemoryBudget = 0
+	}
+	m := &Manager{budget: cfg.Budget, maxQueued: cfg.MaxQueued, batchAging: cfg.BatchAging, memBudget: cfg.MemoryBudget, admitting: -1}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
-// waiter is one queued admission: its line ticket plus the thread count it
-// must see free before it can take its turn (used by headLocked's aging
-// fit-check).
+// waiter is one queued admission: its line ticket plus the thread count and
+// working-memory bytes it must see free before it can take its turn (used by
+// awaitTurnLocked and headLocked's aging fit-check).
 type waiter struct {
-	ticket int64
-	need   int
+	ticket  int64
+	need    int
+	memNeed int64
 }
 
 // takeTicketLocked joins the FIFO line of the given class.
-func (m *Manager) takeTicketLocked(pri Priority, need int) int64 {
+func (m *Manager) takeTicketLocked(pri Priority, need int, memNeed int64) int64 {
 	t := m.nextTicket
 	m.nextTicket++
-	m.lines[pri] = append(m.lines[pri], waiter{ticket: t, need: need})
+	m.lines[pri] = append(m.lines[pri], waiter{ticket: t, need: need, memNeed: memNeed})
 	return t
+}
+
+// memFitsLocked reports whether need bytes fit the free memory budget (true
+// whenever memory admission is off).
+func (m *Manager) memFitsLocked(need int64) bool {
+	return m.memBudget <= 0 || m.memBudget-m.memAllocated >= need
 }
 
 // headLocked returns the ticket allowed to admit next. A ticket that already
@@ -271,7 +325,7 @@ func (m *Manager) headLocked() (int64, bool) {
 		// big batch query still gets the head-of-line blocking it needs to
 		// ever accumulate its threads.
 		if m.iStreak >= m.batchAging {
-			if m.iStreak >= 2*m.batchAging || m.budget-m.allocated >= bLine[0].need {
+			if m.iStreak >= 2*m.batchAging || (m.budget-m.allocated >= bLine[0].need && m.memFitsLocked(bLine[0].memNeed)) {
 				return bLine[0].ticket, true
 			}
 		}
@@ -312,9 +366,13 @@ func (m *Manager) leaveLocked(pri Priority, ticket int64) {
 }
 
 // awaitTurnLocked blocks until the ticket is the head of the line with need
-// threads available, or the manager closes / ctx is cancelled. On success the
-// ticket is pinned as the admitting ticket.
-func (m *Manager) awaitTurnLocked(ctx context.Context, pri Priority, ticket int64, need int) error {
+// threads and memNeed working-memory bytes available, or the manager closes
+// / ctx is cancelled. On success the ticket is pinned as the admitting
+// ticket. The memory fit is what makes a query arriving into an exhausted
+// memory budget queue instead of OOM: it waits here, like a query whose
+// threads do not fit, until peers finish (or renegotiate down) and free
+// enough bytes for its minimum grant.
+func (m *Manager) awaitTurnLocked(ctx context.Context, pri Priority, ticket int64, need int, memNeed int64) error {
 	for {
 		if m.closed {
 			m.leaveLocked(pri, ticket)
@@ -324,7 +382,7 @@ func (m *Manager) awaitTurnLocked(ctx context.Context, pri Priority, ticket int6
 			m.leaveLocked(pri, ticket)
 			return err
 		}
-		if head, ok := m.headLocked(); ok && head == ticket && m.budget-m.allocated >= need {
+		if head, ok := m.headLocked(); ok && head == ticket && m.budget-m.allocated >= need && m.memFitsLocked(memNeed) {
 			m.admitting = ticket
 			return nil
 		}
@@ -332,12 +390,16 @@ func (m *Manager) awaitTurnLocked(ctx context.Context, pri Priority, ticket int6
 	}
 }
 
-// reserveLocked finalizes an admission: takes n threads out of the budget,
-// retires the ticket, and updates the cross-class aging streak.
-func (m *Manager) reserveLocked(pri Priority, ticket int64, n int) {
+// reserveLocked finalizes an admission: takes n threads and mem bytes out of
+// the budgets, retires the ticket, and updates the cross-class aging streak.
+func (m *Manager) reserveLocked(pri Priority, ticket int64, n int, mem int64) {
 	m.allocated += n
 	if m.allocated > m.peak {
 		m.peak = m.allocated
+	}
+	m.memAllocated += mem
+	if m.memAllocated > m.peakMem {
+		m.peakMem = m.memAllocated
 	}
 	m.removeLocked(pri, ticket)
 	m.admitting = -1
@@ -397,6 +459,12 @@ func (m *Manager) Stats() Stats {
 		Active:                m.active,
 		ThreadsInFlight:       m.allocated,
 		PeakThreads:           m.peak,
+		MemBudget:             m.memBudget,
+		MemInFlight:           m.memAllocated,
+		PeakMem:               m.peakMem,
+		SpilledBytes:          m.spilledBytes,
+		SpillPasses:           m.spillPasses,
+		MemReturnedEarly:      m.memReturned,
 		Readmissions:          m.readmissions,
 		ThreadsReturnedEarly:  m.threadsReturned,
 		ThreadsGrownMidFlight: m.threadsGrown,
@@ -446,6 +514,23 @@ func (m *Manager) blendLocked(u float64) float64 {
 // the utilization EWMA — only Finish samples it, once per query. Calling
 // Readmit on a finished admission is a harmless no-op.
 func (m *Manager) Readmit(a *Admission, want, min int) int {
+	return m.ReadmitAt(a, -1, want, min)
+}
+
+// ReadmitAt is Readmit with the chain boundary made explicit: chain is the
+// index of the chain about to start, and alongside the thread renegotiation
+// the query's working-memory reservation is shrunk to the peak estimate of
+// the remaining chains (Allocation.ChainMem[chain:]), capped at the original
+// grant. Memory renegotiation is shrink-only and never blocks — growth would
+// reintroduce hold-and-wait against the admission line, and a chain that
+// turns out to need more than the shrunk grant degrades by spilling, not by
+// waiting. Returned bytes wake queued admissions immediately, so a long
+// multi-chain query stops pinning its peak-chain memory through cheap tail
+// chains. The estimate ledger is approximate (materialized intermediates
+// from earlier chains are priced into the chain that wrote them); the spill
+// accountant, retargeted to the shrunk grant by the caller, is the
+// enforcement boundary. chain < 0 (or out of range) skips the memory step.
+func (m *Manager) ReadmitAt(a *Admission, chain, want, min int) int {
 	if min < 1 {
 		min = 1
 	}
@@ -509,6 +594,33 @@ func (m *Manager) Readmit(a *Admission, want, min int) int {
 	a.held = grant
 	a.trace = append(a.trace, grant)
 	m.readmissions++
+	// Memory renegotiation: shrink the reservation to the peak estimate of
+	// the chains still to run, floored so the accountant never retargets to
+	// zero (zero reads as "unlimited") while the query holds a grant.
+	if m.memBudget > 0 && a.memHeld > 0 && chain >= 0 && chain < len(a.alloc.ChainMem) {
+		var remain int64
+		for _, n := range a.alloc.ChainMem[chain:] {
+			if n > remain {
+				remain = n
+			}
+		}
+		floor := a.memGrant
+		if floor > minMemGrant {
+			floor = minMemGrant
+		}
+		if remain < floor {
+			remain = floor
+		}
+		if remain > a.memGrant {
+			remain = a.memGrant
+		}
+		if remain < a.memHeld {
+			m.memAllocated -= a.memHeld - remain
+			m.memReturned += a.memHeld - remain
+			a.memHeld = remain
+			m.cond.Broadcast()
+		}
+	}
 	return grant
 }
 
@@ -554,14 +666,14 @@ func (m *Manager) Reserve(ctx context.Context, n int) (release func(), err error
 		return nil, ErrQueueFull
 	}
 	m.queued[PriorityInteractive]++
-	ticket := m.takeTicketLocked(PriorityInteractive, n)
-	err = m.awaitTurnLocked(ctx, PriorityInteractive, ticket, n)
+	ticket := m.takeTicketLocked(PriorityInteractive, n, 0)
+	err = m.awaitTurnLocked(ctx, PriorityInteractive, ticket, n, 0)
 	m.queued[PriorityInteractive]--
 	if err != nil {
 		m.mu.Unlock()
 		return nil, err
 	}
-	m.reserveLocked(PriorityInteractive, ticket, n)
+	m.reserveLocked(PriorityInteractive, ticket, n, 0)
 	m.mu.Unlock()
 
 	var once sync.Once
@@ -593,8 +705,13 @@ type Admission struct {
 
 	// held is the thread count currently reserved (starts at alloc.Total,
 	// renegotiated by Readmit); trace records each renegotiated grant;
-	// finished blocks late Readmit calls. All guarded by m.mu.
+	// finished blocks late Readmit calls. memGrant is the working-memory
+	// bytes granted at admission (immutable); memHeld is the bytes
+	// currently reserved (shrunk by ReadmitAt). All but memGrant guarded
+	// by m.mu.
 	held     int
+	memGrant int64
+	memHeld  int64
 	finished bool
 	trace    []int
 }
@@ -611,6 +728,36 @@ func (a *Admission) ChainTrace() []int {
 	return append([]int(nil), a.trace...)
 }
 
+// MemoryGrant returns the working-memory bytes granted at admission (0 when
+// memory admission is off or the plan estimates no blocking-operator state).
+// This is the grant a query's spill accountant starts from.
+func (a *Admission) MemoryGrant() int64 { return a.memGrant }
+
+// MemoryHeld returns the working-memory bytes currently reserved — the
+// admission grant, minus what chain-boundary renegotiations handed back.
+func (a *Admission) MemoryHeld() int64 {
+	a.m.mu.Lock()
+	defer a.m.mu.Unlock()
+	return a.memHeld
+}
+
+// NoteSpill records a query's larger-than-memory activity — bytes written
+// to spill runs and partition/merge passes — into the manager's lifetime
+// counters and the admission's QueryStats. Call it once, when the execution
+// ends and the spill accountant's totals are final (before or after Finish).
+func (a *Admission) NoteSpill(bytes, passes int64) {
+	if bytes == 0 && passes == 0 {
+		return
+	}
+	m := a.m
+	m.mu.Lock()
+	m.spilledBytes += bytes
+	m.spillPasses += passes
+	a.Stats.SpilledBytes += bytes
+	a.Stats.SpillPasses += passes
+	m.mu.Unlock()
+}
+
 // Finish returns the reservation — whatever Readmit has left of it — to the
 // budget and classifies the outcome from err itself: nil = completed, a
 // context cancellation or deadline = cancelled, anything else = failed. An
@@ -625,6 +772,8 @@ func (a *Admission) Finish(err error) {
 		a.finished = true
 		a.Stats.ChainThreads = append([]int(nil), a.trace...)
 		m.allocated -= a.held
+		m.memAllocated -= a.memHeld
+		a.memHeld = 0
 		m.active--
 		switch {
 		case err == nil:
@@ -677,6 +826,18 @@ func (m *Manager) Admit(ctx context.Context, plan *lera.Plan, db core.DB, opts *
 	if opts.Threads > 0 {
 		need = opts.Threads
 	}
+	// With memory admission on, every query waits for at least the minimum
+	// grant — its true estimate is not known until the plan is costed, which
+	// happens after the wait. The pinned admitting ticket keeps the free
+	// memory measured here stable through planning, so the post-planning
+	// grant never overcommits the budget.
+	var memNeed int64
+	if m.memBudget > 0 {
+		memNeed = minMemGrant
+		if memNeed > m.memBudget {
+			memNeed = m.memBudget
+		}
+	}
 
 	stop := context.AfterFunc(ctx, func() {
 		m.mu.Lock()
@@ -703,8 +864,8 @@ func (m *Manager) Admit(ctx context.Context, plan *lera.Plan, db core.DB, opts *
 		return nil, ErrQueueFull
 	}
 	m.queued[pri]++
-	ticket := m.takeTicketLocked(pri, need)
-	if err := m.awaitTurnLocked(ctx, pri, ticket, need); err != nil {
+	ticket := m.takeTicketLocked(pri, need, memNeed)
+	if err := m.awaitTurnLocked(ctx, pri, ticket, need, memNeed); err != nil {
 		m.queued[pri]--
 		if err != ErrClosed {
 			m.cancelled++
@@ -756,15 +917,39 @@ func (m *Manager) Admit(ctx context.Context, plan *lera.Plan, db core.DB, opts *
 		m.mu.Unlock()
 		return nil, err
 	}
-	m.reserveLocked(pri, ticket, alloc.Total)
+	// Memory grant: the cost-model estimate, capped by the caller's
+	// per-query ceiling and the free budget, floored (when the query needs
+	// any memory at all) so the spill accountant never starts from zero.
+	// The wait guaranteed minMemGrant free, and nothing could take memory
+	// during planning (the pinned ticket blocks reservations; renegotiation
+	// only shrinks), so the grant always fits the budget.
+	var memGrant int64
+	if m.memBudget > 0 && alloc.MemEstimate > 0 {
+		memGrant = alloc.MemEstimate
+		if opts.MemoryBudget > 0 && memGrant > opts.MemoryBudget {
+			memGrant = opts.MemoryBudget
+		}
+		if free := m.memBudget - m.memAllocated; memGrant > free {
+			memGrant = free
+		}
+		if memGrant < memNeed {
+			memGrant = memNeed
+		}
+		// The grant becomes the query's enforcement ceiling: the engine
+		// builds its spill accountant from opts.MemoryBudget.
+		opts.MemoryBudget = memGrant
+	}
+	m.reserveLocked(pri, ticket, alloc.Total, memGrant)
 	m.admitted++
 	m.active++
 	m.mu.Unlock()
 
 	return &Admission{
-		m:     m,
-		alloc: alloc,
-		held:  alloc.Total,
+		m:        m,
+		alloc:    alloc,
+		held:     alloc.Total,
+		memGrant: memGrant,
+		memHeld:  memGrant,
 		Stats: QueryStats{
 			Utilization: opts.Utilization,
 			Measured:    measured,
@@ -772,6 +957,7 @@ func (m *Manager) Admit(ctx context.Context, plan *lera.Plan, db core.DB, opts *
 			Threads:     alloc.Total,
 			Available:   available,
 			Priority:    pri,
+			MemoryGrant: memGrant,
 		},
 	}, nil
 }
@@ -786,8 +972,31 @@ func (m *Manager) Execute(ctx context.Context, plan *lera.Plan, db core.DB, opts
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	opts.Readmit = func(_, want, min int) int { return m.Readmit(adm, want, min) }
+	// Own the spill environment (rather than letting the engine create one)
+	// so chain-boundary renegotiation can retarget the accountant to the
+	// shrunk reservation, and the query's spill totals land in the manager
+	// ledgers at the end.
+	var env *storage.SpillEnv
+	if opts.Spill == nil && opts.MemoryBudget > 0 {
+		env, err = storage.NewSpillEnv(opts.SpillDir, opts.MemoryBudget, storage.PoolPagesFor(opts.MemoryBudget), nil)
+		if err != nil {
+			adm.Finish(err)
+			return nil, adm.Stats, err
+		}
+		opts.Spill = env
+	}
+	opts.Readmit = func(chain, want, min int) int {
+		grant := m.ReadmitAt(adm, chain, want, min)
+		if env != nil {
+			env.Mem.SetGrant(adm.MemoryHeld())
+		}
+		return grant
+	}
 	res, err := core.ExecuteAllocated(ctx, plan, db, opts, adm.Alloc())
+	if env != nil {
+		adm.NoteSpill(env.Spilled())
+		env.Close()
+	}
 	adm.Finish(err)
 	return res, adm.Stats, err
 }

@@ -1,0 +1,301 @@
+package runtime
+
+// Memory as a scheduled resource: admission reserves a working-memory grant
+// next to the thread reservation, a query that does not fit queues instead
+// of overcommitting, the chain-boundary renegotiation returns surplus early,
+// and the spill ledgers aggregate per-query disk traffic. These tests drive
+// the ledger through the planAllocation seam with fabricated estimates so
+// grant arithmetic is exact.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dbs3/internal/core"
+	"dbs3/internal/lera"
+)
+
+// fabricateMem wraps the real allocation planner and overrides the memory
+// estimate, so thread-side behaviour stays realistic while the memory side
+// is deterministic. Restores the seam on test cleanup.
+func fabricateMem(t *testing.T, est int64, chainMem []int64) {
+	t.Helper()
+	old := planAllocation
+	planAllocation = func(p *lera.Plan, d core.DB, o core.Options) (core.Allocation, error) {
+		alloc, err := core.PlanAllocation(p, d, o)
+		if err != nil {
+			return alloc, err
+		}
+		alloc.MemEstimate = est
+		alloc.ChainMem = chainMem
+		return alloc, nil
+	}
+	t.Cleanup(func() { planAllocation = old })
+}
+
+// TestMemoryGrantArithmetic: the grant is min(estimate, per-query ceiling,
+// free budget), floored at the minimum grant, and Admit rewrites the
+// caller's MemoryBudget to it so the execution's accountant enforces what
+// admission actually reserved. Finish returns every byte.
+func TestMemoryGrantArithmetic(t *testing.T) {
+	plan, db := joinPlan(t)
+	const budget = 64 << 20
+	fabricateMem(t, 10<<20, []int64{10 << 20})
+
+	m := NewManager(Config{Budget: 8, MemoryBudget: budget})
+	if st := m.Stats(); st.MemBudget != budget {
+		t.Fatalf("MemBudget = %d, want %d", st.MemBudget, budget)
+	}
+
+	// Estimate below budget and ceiling: granted in full.
+	opts := core.Options{}
+	adm, err := m.Admit(context.Background(), plan, db, &opts, PriorityInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.MemoryGrant() != 10<<20 || opts.MemoryBudget != 10<<20 {
+		t.Fatalf("grant = %d, opts.MemoryBudget = %d, want estimate %d", adm.MemoryGrant(), opts.MemoryBudget, 10<<20)
+	}
+	if st := m.Stats(); st.MemInFlight != 10<<20 || st.PeakMem != 10<<20 {
+		t.Fatalf("in flight = %d, peak = %d", st.MemInFlight, st.PeakMem)
+	}
+	if adm.Stats.MemoryGrant != 10<<20 {
+		t.Fatalf("QueryStats.MemoryGrant = %d", adm.Stats.MemoryGrant)
+	}
+
+	// A per-query ceiling caps the grant below the estimate.
+	opts2 := core.Options{MemoryBudget: 4 << 20}
+	adm2, err := m.Admit(context.Background(), plan, db, &opts2, PriorityInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm2.MemoryGrant() != 4<<20 || opts2.MemoryBudget != 4<<20 {
+		t.Fatalf("ceiled grant = %d, opts = %d, want %d", adm2.MemoryGrant(), opts2.MemoryBudget, 4<<20)
+	}
+
+	// Free headroom caps the grant below the estimate: 64-10-4 = 50 MiB
+	// free, estimate asks for 60.
+	fabricateMem(t, 60<<20, []int64{60 << 20})
+	opts3 := core.Options{}
+	adm3, err := m.Admit(context.Background(), plan, db, &opts3, PriorityInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm3.MemoryGrant() != 50<<20 {
+		t.Fatalf("headroom-capped grant = %d, want %d", adm3.MemoryGrant(), int64(50<<20))
+	}
+	if st := m.Stats(); st.MemInFlight != budget {
+		t.Fatalf("in flight = %d, want full budget %d", st.MemInFlight, budget)
+	}
+
+	adm.Finish(nil)
+	adm2.Finish(nil)
+	adm3.Finish(nil)
+	if st := m.Stats(); st.MemInFlight != 0 {
+		t.Fatalf("in flight = %d after Finish, want 0", st.MemInFlight)
+	}
+	if st := m.Stats(); st.PeakMem != budget {
+		t.Fatalf("peak = %d, want high-water %d", st.PeakMem, budget)
+	}
+}
+
+// TestMemoryStarvedQueryQueues: when the free budget cannot cover even the
+// minimum grant, the next query waits in line rather than admitting with a
+// zero (= unlimited) grant, and proceeds once a finisher returns its bytes.
+// This is the OOM fix in scheduling form: denial means queueing, never an
+// unaccounted allocation.
+func TestMemoryStarvedQueryQueues(t *testing.T) {
+	plan, db := joinPlan(t)
+	const budget = 8 << 20
+	fabricateMem(t, budget, []int64{budget})
+
+	m := NewManager(Config{Budget: 16, MemoryBudget: budget})
+	opts := core.Options{Threads: 2}
+	hog, err := m.Admit(context.Background(), plan, db, &opts, PriorityInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hog.MemoryGrant() != budget {
+		t.Fatalf("hog grant = %d, want full budget", hog.MemoryGrant())
+	}
+
+	fabricateMem(t, 2<<20, []int64{2 << 20})
+	admitted := make(chan *Admission, 1)
+	errc := make(chan error, 1)
+	go func() {
+		opts2 := core.Options{Threads: 2}
+		adm, err := m.Admit(context.Background(), plan, db, &opts2, PriorityInteractive)
+		if err != nil {
+			errc <- err
+			return
+		}
+		admitted <- adm
+	}()
+
+	// Threads are free (2 of 16 held); only memory blocks the second query.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Stats().Queued == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st := m.Stats(); st.Queued != 1 {
+		t.Fatalf("starved query not queued: %+v", st)
+	}
+	select {
+	case adm := <-admitted:
+		adm.Finish(nil)
+		t.Fatal("query admitted with no free memory")
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	hog.Finish(nil)
+	select {
+	case adm := <-admitted:
+		if adm.MemoryGrant() != 2<<20 {
+			t.Fatalf("post-wait grant = %d, want estimate", adm.MemoryGrant())
+		}
+		adm.Finish(nil)
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued query not admitted after memory freed")
+	}
+	if st := m.Stats(); st.MemInFlight != 0 {
+		t.Fatalf("in flight = %d at drain, want 0", st.MemInFlight)
+	}
+}
+
+// TestReadmitShrinksMemory: crossing a chain boundary renegotiates the
+// memory reservation down to what the remaining chains need — surplus goes
+// back to the pool mid-flight, floored at the minimum grant so the
+// accountant is never retargeted to unlimited. Growth is never granted: the
+// estimate was the high-water mark.
+func TestReadmitShrinksMemory(t *testing.T) {
+	plan, db := joinPlan(t)
+	const budget = 64 << 20
+	fabricateMem(t, 24<<20, []int64{24 << 20, 6 << 20, 512 << 10})
+
+	m := NewManager(Config{Budget: 8, MemoryBudget: budget})
+	opts := core.Options{}
+	adm, err := m.Admit(context.Background(), plan, db, &opts, PriorityInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.MemoryHeld() != 24<<20 {
+		t.Fatalf("held = %d at admit", adm.MemoryHeld())
+	}
+
+	// Entering chain 1: only chains 1.. matter, max(6MiB, 512KiB) = 6MiB.
+	m.ReadmitAt(adm, 1, adm.Alloc().Want(1), 1)
+	if held := adm.MemoryHeld(); held != 6<<20 {
+		t.Fatalf("held = %d after chain-1 readmit, want %d", held, int64(6<<20))
+	}
+	st := m.Stats()
+	if st.MemInFlight != 6<<20 || st.MemReturnedEarly != 18<<20 {
+		t.Fatalf("in flight = %d, returned early = %d", st.MemInFlight, st.MemReturnedEarly)
+	}
+
+	// Entering chain 2: the remaining need (512KiB) is below the minimum
+	// grant, so the hold floors there instead of shrinking to a value the
+	// accountant would read as unlimited.
+	m.ReadmitAt(adm, 2, adm.Alloc().Want(2), 1)
+	if held := adm.MemoryHeld(); held != minMemGrant {
+		t.Fatalf("held = %d after chain-2 readmit, want floor %d", held, int64(minMemGrant))
+	}
+
+	// The immutable grant is untouched by renegotiation.
+	if adm.MemoryGrant() != 24<<20 {
+		t.Fatalf("grant = %d, want original", adm.MemoryGrant())
+	}
+	adm.Finish(nil)
+	if st := m.Stats(); st.MemInFlight != 0 {
+		t.Fatalf("in flight = %d after Finish", st.MemInFlight)
+	}
+}
+
+// TestNoteSpillLedgers: per-query spill traffic reported at Finish shows up
+// on both the query's stats and the manager's machine-wide counters.
+func TestNoteSpillLedgers(t *testing.T) {
+	plan, db := joinPlan(t)
+	fabricateMem(t, 4<<20, []int64{4 << 20})
+	m := NewManager(Config{Budget: 8, MemoryBudget: 16 << 20})
+	opts := core.Options{}
+	adm, err := m.Admit(context.Background(), plan, db, &opts, PriorityInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm.NoteSpill(1<<20, 2)
+	adm.NoteSpill(512<<10, 1)
+	adm.NoteSpill(0, 0) // no-op
+	adm.Finish(nil)
+	if adm.Stats.SpilledBytes != 1<<20+512<<10 || adm.Stats.SpillPasses != 3 {
+		t.Fatalf("query spill = (%d, %d)", adm.Stats.SpilledBytes, adm.Stats.SpillPasses)
+	}
+	st := m.Stats()
+	if st.SpilledBytes != 1<<20+512<<10 || st.SpillPasses != 3 {
+		t.Fatalf("manager spill = (%d, %d)", st.SpilledBytes, st.SpillPasses)
+	}
+}
+
+// TestMemoryBudgetNeverExceeded: under concurrent admissions with varied
+// estimates, the reserved total observed at any instant never exceeds the
+// manager's memory budget. This is the acceptance invariant for
+// multi-resource admission.
+func TestMemoryBudgetNeverExceeded(t *testing.T) {
+	plan, db := joinPlan(t)
+	const budget = 16 << 20
+	fabricateMem(t, 5<<20, []int64{5 << 20})
+	m := NewManager(Config{Budget: 64, MemoryBudget: budget})
+
+	var exceeded atomic.Bool
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if st := m.Stats(); st.MemInFlight > budget {
+				exceeded.Store(true)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				opts := core.Options{Threads: 2}
+				adm, err := m.Admit(context.Background(), plan, db, &opts, PriorityInteractive)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if adm.MemoryGrant() > opts.MemoryBudget {
+					t.Errorf("grant %d above rewritten budget %d", adm.MemoryGrant(), opts.MemoryBudget)
+				}
+				adm.Finish(nil)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+	if exceeded.Load() {
+		t.Fatal("reserved memory exceeded the manager budget")
+	}
+	if st := m.Stats(); st.MemInFlight != 0 || st.PeakMem > budget {
+		t.Fatalf("drain state: in flight %d, peak %d (budget %d)", st.MemInFlight, st.PeakMem, budget)
+	}
+}

@@ -225,6 +225,9 @@ func overlayOptions(base dbs3.Options, r *http.Request, wire *Options) dbs3.Opti
 	if wire.Utilization != 0 {
 		opt.Utilization = wire.Utilization
 	}
+	if wire.MemoryBudget != 0 {
+		opt.MemoryBudget = wire.MemoryBudget
+	}
 	return opt
 }
 
@@ -432,6 +435,7 @@ func (s *Server) handleStmtClose(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.manager.Stats()
 	hits, misses := s.db.PlanCacheStats()
+	poolHits, poolMisses, poolResident := s.db.BufferPoolStats()
 	s.mu.Lock()
 	s.sweepLocked(s.now())
 	open := len(s.stmts)
@@ -452,6 +456,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ThreadsReturnedEarly:  st.ThreadsReturnedEarly,
 		ThreadsGrownMidFlight: st.ThreadsGrownMidFlight,
 		SmoothedUtilization:   st.SmoothedUtilization,
+		MemBudget:             st.MemBudget,
+		MemInFlight:           st.MemInFlight,
+		PeakMem:               st.PeakMem,
+		SpilledBytes:          st.SpilledBytes,
+		SpillPasses:           st.SpillPasses,
+		BufferPoolHits:        poolHits,
+		BufferPoolMisses:      poolMisses,
+		BufferPoolResident:    poolResident,
 		PlanCacheHits:         hits,
 		PlanCacheMisses:       misses,
 		Statements:            open,
@@ -640,6 +652,7 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, stmt *dbs3.Stmt,
 		return
 	}
 	foot := &Footer{RowCount: count, Threads: rows.Threads(), ChainThreads: rows.ChainThreads(), Operators: rows.Operators()}
+	foot.SpilledBytes, foot.SpillPasses = rows.SpillStats()
 	write(func() error { return enc.done(foot) }, true)
 }
 

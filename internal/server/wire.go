@@ -72,6 +72,11 @@ type Options struct {
 	// (GET /stats smoothedUtilization), extending the paper's feedback loop
 	// across machines.
 	Utilization float64 `json:"utilization,omitempty"`
+	// MemoryBudget caps the query's blocking-operator working memory in
+	// bytes; operators spill to disk beyond it. Under a manager with a
+	// machine-wide memory budget this is a ceiling on the admission grant.
+	// 0 defers to the server default.
+	MemoryBudget int64 `json:"memoryBudget,omitempty"`
 	// Wire selects the result-stream encoding: "ndjson" (default) or
 	// "columnar" (length-prefixed binary frames; see colwire.go). It
 	// overrides the Accept header; anything else is a 400.
@@ -125,6 +130,10 @@ type Footer struct {
 	// single-chain statements.
 	ChainThreads []int                `json:"chainThreads,omitempty"`
 	Operators    []dbs3.OperatorStats `json:"operators,omitempty"`
+	// SpilledBytes and SpillPasses total the query's larger-than-memory
+	// activity under a memory budget; absent when nothing spilled.
+	SpilledBytes int64 `json:"spilledBytes,omitempty"`
+	SpillPasses  int64 `json:"spillPasses,omitempty"`
 }
 
 // Message is one NDJSON line of a streamed result: exactly one field is set.
@@ -159,6 +168,20 @@ type StatsResponse struct {
 	ThreadsGrownMidFlight int64 `json:"threadsGrownMidFlight"`
 	// SmoothedUtilization is the admission feedback EWMA.
 	SmoothedUtilization float64 `json:"smoothedUtilization"`
+	// Memory admission counters: the machine-wide working-memory budget (0
+	// = memory admission off), the bytes reserved by running queries, the
+	// lifetime reservation high-water mark, and the lifetime spill totals
+	// (bytes written to spill runs, partition/merge passes) across queries.
+	MemBudget    int64 `json:"memBudget,omitempty"`
+	MemInFlight  int64 `json:"memInFlight,omitempty"`
+	PeakMem      int64 `json:"peakMem,omitempty"`
+	SpilledBytes int64 `json:"spilledBytes,omitempty"`
+	SpillPasses  int64 `json:"spillPasses,omitempty"`
+	// Spill buffer-pool counters aggregated across queries: read-back page
+	// hits, misses that went to disk, and pages currently resident.
+	BufferPoolHits     int64 `json:"bufferPoolHits,omitempty"`
+	BufferPoolMisses   int64 `json:"bufferPoolMisses,omitempty"`
+	BufferPoolResident int64 `json:"bufferPoolResident,omitempty"`
 	// Plan-cache amortization counters.
 	PlanCacheHits   int64 `json:"planCacheHits"`
 	PlanCacheMisses int64 `json:"planCacheMisses"`

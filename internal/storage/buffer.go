@@ -6,18 +6,43 @@ import (
 	"sync"
 )
 
+// PageReader is a source of page images addressed by PageID. *Array (the
+// simulated disk array) and *SpillSet (a query's temp files) both satisfy
+// it, so one buffer pool serves the paper's memory-resident experiments and
+// spill read-back alike.
+type PageReader interface {
+	Read(id PageID) ([]byte, error)
+}
+
 // BufferPool caches decoded pages with LRU replacement. The paper's
 // experiments run with "relations cached in main memory"; a warmed pool
 // reproduces exactly that regime while the pool's miss path exercises the
 // disk substrate.
+//
+// A miss releases the pool mutex during the read and decode, holding only a
+// per-page in-flight latch: concurrent hits proceed while a page is being
+// read, and concurrent misses on the same page coalesce into a single read
+// (latecomers wait on the latch and share the one decoded page).
 type BufferPool struct {
 	mu       sync.Mutex
 	capacity int
-	array    *Array
+	src      PageReader
 	entries  map[PageID]*list.Element
 	lru      *list.List // front = most recently used
+	inflight map[PageID]*inflightRead
 	hits     int
 	misses   int
+	metrics  *PoolMetrics
+	closed   bool
+}
+
+// inflightRead is the single-flight latch for one page being read: the
+// loader closes done after setting page or err, and every waiter shares the
+// result.
+type inflightRead struct {
+	done chan struct{}
+	page *Page
+	err  error
 }
 
 type bufferEntry struct {
@@ -25,45 +50,84 @@ type bufferEntry struct {
 	page *Page
 }
 
-// NewBufferPool creates a pool over the disk array holding at most capacity
-// pages.
-func NewBufferPool(array *Array, capacity int) (*BufferPool, error) {
+// NewBufferPool creates a pool over the page source holding at most
+// capacity pages.
+func NewBufferPool(src PageReader, capacity int) (*BufferPool, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("storage: buffer pool capacity must be positive, got %d", capacity)
 	}
 	return &BufferPool{
 		capacity: capacity,
-		array:    array,
+		src:      src,
 		entries:  make(map[PageID]*list.Element, capacity),
 		lru:      list.New(),
+		inflight: make(map[PageID]*inflightRead),
 	}, nil
 }
 
-// Get returns the page with the given id, reading it from disk on a miss.
-func (b *BufferPool) Get(id PageID) (*Page, error) {
+// SetMetrics attaches process-wide counters the pool mirrors its activity
+// into (per-query pools feed one shared PoolMetrics for /stats).
+func (b *BufferPool) SetMetrics(m *PoolMetrics) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.metrics = m
+}
+
+// Get returns the page with the given id, reading it from the source on a
+// miss.
+func (b *BufferPool) Get(id PageID) (*Page, error) {
+	b.mu.Lock()
 	if el, ok := b.entries[id]; ok {
 		b.hits++
+		b.metrics.hit()
 		b.lru.MoveToFront(el)
-		return el.Value.(*bufferEntry).page, nil
+		p := el.Value.(*bufferEntry).page
+		b.mu.Unlock()
+		return p, nil
+	}
+	if fl, ok := b.inflight[id]; ok {
+		// Someone is already reading this page: count it as a hit (only one
+		// read happens) and wait outside the lock.
+		b.hits++
+		b.metrics.hit()
+		b.mu.Unlock()
+		<-fl.done
+		return fl.page, fl.err
 	}
 	b.misses++
-	img, err := b.array.Read(id)
+	b.metrics.miss()
+	fl := &inflightRead{done: make(chan struct{})}
+	b.inflight[id] = fl
+	b.mu.Unlock()
+
+	img, err := b.src.Read(id)
+	var p *Page
+	if err == nil {
+		p, err = PageFromBytes(img)
+	}
+
+	b.mu.Lock()
+	delete(b.inflight, id)
 	if err != nil {
+		fl.err = err
+		b.mu.Unlock()
+		close(fl.done)
 		return nil, err
 	}
-	p, err := PageFromBytes(img)
-	if err != nil {
-		return nil, err
+	fl.page = p
+	if !b.closed {
+		el := b.lru.PushFront(&bufferEntry{id: id, page: p})
+		b.entries[id] = el
+		b.metrics.resident(1)
+		if b.lru.Len() > b.capacity {
+			victim := b.lru.Back()
+			b.lru.Remove(victim)
+			delete(b.entries, victim.Value.(*bufferEntry).id)
+			b.metrics.resident(-1)
+		}
 	}
-	el := b.lru.PushFront(&bufferEntry{id: id, page: p})
-	b.entries[id] = el
-	if b.lru.Len() > b.capacity {
-		victim := b.lru.Back()
-		b.lru.Remove(victim)
-		delete(b.entries, victim.Value.(*bufferEntry).id)
-	}
+	b.mu.Unlock()
+	close(fl.done)
 	return p, nil
 }
 
@@ -79,4 +143,20 @@ func (b *BufferPool) Resident() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.lru.Len()
+}
+
+// Close drops every cached page and returns the pool's residency to the
+// shared metrics. Get on a closed pool still works (reads pass through
+// uncached); per-query pools are closed when the query's spill state is
+// cleaned up.
+func (b *BufferPool) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.metrics.resident(int64(-b.lru.Len()))
+	b.lru.Init()
+	b.entries = make(map[PageID]*list.Element)
 }

@@ -1,7 +1,11 @@
 package storage
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"dbs3/internal/relation"
 )
@@ -75,6 +79,110 @@ func TestBufferPoolContentCorrect(t *testing.T) {
 	tup, err := p.Tuple(0)
 	if err != nil || tup[0].AsInt() != 77 {
 		t.Errorf("tuple = %v, %v", tup, err)
+	}
+}
+
+// gatedReader is a PageReader whose reads block until the test releases
+// them, exposing the window where a miss's I/O is in flight.
+type gatedReader struct {
+	gate  chan struct{}
+	data  map[PageID][]byte
+	reads atomic.Int32
+}
+
+func (r *gatedReader) Read(id PageID) ([]byte, error) {
+	r.reads.Add(1)
+	<-r.gate
+	b, ok := r.data[id]
+	if !ok {
+		return nil, fmt.Errorf("gatedReader: no page %v", id)
+	}
+	return b, nil
+}
+
+// TestBufferPoolHitDuringMiss is the regression test for the lock-across-I/O
+// bug: Get used to hold the pool mutex through the source read, so a hit on
+// a resident page stalled behind an unrelated miss's disk I/O. Now the miss
+// releases the lock during the read (a per-page latch keeps it single
+// flight), so the hit must complete while the miss is still blocked — and a
+// second reader of the missing page must wait on the latch rather than issue
+// a duplicate read.
+func TestBufferPoolHitDuringMiss(t *testing.T) {
+	id0, id1 := PageID{Disk: 0, Slot: 0}, PageID{Disk: 0, Slot: 1}
+	r := &gatedReader{gate: make(chan struct{}, 1), data: map[PageID][]byte{
+		id0: pageWith(t, 10),
+		id1: pageWith(t, 20),
+	}}
+	b, err := NewBufferPool(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preload id0: one token lets exactly this read through.
+	r.gate <- struct{}{}
+	if _, err := b.Get(id0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Miss on id1 blocks inside the source read, holding no pool lock.
+	missDone := make(chan error, 1)
+	go func() {
+		_, err := b.Get(id1)
+		missDone <- err
+	}()
+	for r.reads.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// The resident page must be servable while that I/O is in flight.
+	hitDone := make(chan error, 1)
+	go func() {
+		_, err := b.Get(id0)
+		hitDone <- err
+	}()
+	select {
+	case err := <-hitDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("hit on resident page blocked behind an in-flight miss")
+	}
+
+	// Concurrent waiters on the missing page coalesce onto the one read.
+	const waiters = 4
+	var wg sync.WaitGroup
+	waitErrs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := b.Get(id1)
+			if err == nil && p == nil {
+				err = fmt.Errorf("nil page without error")
+			}
+			waitErrs[i] = err
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let the waiters reach the latch
+	r.gate <- struct{}{}              // release the single in-flight read
+	wg.Wait()
+	if err := <-missDone; err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range waitErrs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	if n := r.reads.Load(); n != 2 {
+		t.Errorf("source reads = %d, want 2 (preload + single-flight miss)", n)
+	}
+	hits, misses := b.Stats()
+	if misses != 2 {
+		t.Errorf("misses = %d, want 2", misses)
+	}
+	if hits < waiters+1 {
+		t.Errorf("hits = %d, want >= %d (resident hit + latch waiters)", hits, waiters+1)
 	}
 }
 

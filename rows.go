@@ -53,6 +53,8 @@ type Rows struct {
 	execErr      error
 	operators    []OperatorStats
 	chainThreads []int
+	spilledBytes int64
+	spillPasses  int64
 }
 
 // Columns names the result columns, known from the prepared plan before the
@@ -199,6 +201,19 @@ func (r *Rows) ChainThreads() []int {
 	}
 }
 
+// SpillStats reports the query's larger-than-memory activity under a memory
+// budget: bytes written to spill runs and partition/merge passes taken
+// across all operators. Both zero when the query fit its grant (or ran
+// unbounded); available once the execution settled.
+func (r *Rows) SpillStats() (bytes, passes int64) {
+	select {
+	case <-r.done:
+		return r.spilledBytes, r.spillPasses
+	default:
+		return 0, 0
+	}
+}
+
 // All drains the remaining rows into a materialized Result — the pre-cursor
 // shape of a query answer — and closes the cursor. Rows already consumed via
 // Next are not included. Calling All on a cursor that was closed before
@@ -217,6 +232,7 @@ func (r *Rows) All() (*Result, error) {
 	}
 	res.Operators = r.Operators()
 	res.ChainThreads = r.ChainThreads()
+	res.SpilledBytes, res.SpillPasses = r.SpillStats()
 	return res, nil
 }
 
@@ -238,6 +254,10 @@ type Result struct {
 	// ChainThreads is the per-chain renegotiated thread trace of a managed
 	// multi-chain query (see Rows.ChainThreads).
 	ChainThreads []int
+	// SpilledBytes and SpillPasses total the query's larger-than-memory
+	// activity under a memory budget (see Rows.SpillStats).
+	SpilledBytes int64
+	SpillPasses  int64
 }
 
 // FormatStats renders the row-count/thread line, the per-chain renegotiated
@@ -250,9 +270,19 @@ func FormatStats(rowCount, threads int, chainThreads []int, ops []OperatorStats)
 	if len(chainThreads) > 1 {
 		fmt.Fprintf(&b, "  chain threads (readmitted at each boundary): %v\n", chainThreads)
 	}
+	var spilled, passes int64
 	for _, op := range ops {
-		fmt.Fprintf(&b, "  %-12s threads=%-3d strategy=%-6s instances=%-5d activations=%-8d emitted=%-8d secondary=%d\n",
+		fmt.Fprintf(&b, "  %-12s threads=%-3d strategy=%-6s instances=%-5d activations=%-8d emitted=%-8d secondary=%d",
 			op.Name, op.Threads, op.Strategy, op.Instances, op.Activations, op.Emitted, op.SecondaryPicks)
+		if op.SpilledBytes > 0 || op.SpillPasses > 0 {
+			fmt.Fprintf(&b, " spilled=%dB passes=%d", op.SpilledBytes, op.SpillPasses)
+		}
+		b.WriteByte('\n')
+		spilled += op.SpilledBytes
+		passes += op.SpillPasses
+	}
+	if spilled > 0 || passes > 0 {
+		fmt.Fprintf(&b, "  spill: %d bytes over %d pass(es) — working memory exceeded the grant; results are unaffected\n", spilled, passes)
 	}
 	return b.String()
 }
@@ -321,6 +351,8 @@ func operatorStats(plan *lera.Plan, res *core.Result) []OperatorStats {
 			Activations:    st.Activations.Load(),
 			Emitted:        st.Emitted.Load(),
 			SecondaryPicks: st.SecondaryPicks.Load(),
+			SpilledBytes:   st.SpilledBytes.Load(),
+			SpillPasses:    st.SpillPasses.Load(),
 		})
 	}
 	return out

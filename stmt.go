@@ -13,6 +13,7 @@ import (
 	"dbs3/internal/lera"
 	"dbs3/internal/relation"
 	dbruntime "dbs3/internal/runtime"
+	"dbs3/internal/storage"
 )
 
 // planCacheCap bounds the per-database LRU plan cache. Serving workloads
@@ -332,12 +333,15 @@ func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 		BatchGrain:   s.opt.BatchGrain,
 		NoVectorize:  s.opt.NoVectorize,
 		Utilization:  s.opt.Utilization,
+		MemoryBudget: s.opt.MemoryBudget,
+		SpillDir:     s.opt.SpillDir,
 		StreamOutput: esql.OutputName,
 		Sink:         &rowSink{ctx: qctx, ch: ch},
 	}
 
 	var adm *dbruntime.Admission
 	var alloc core.Allocation
+	var env *storage.SpillEnv
 	utilization := s.opt.Utilization
 	if manager != nil {
 		adm, err = manager.Admit(qctx, execPlan, rels, &copts, s.pri)
@@ -347,8 +351,16 @@ func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 		}
 		// Mid-flight re-admission: at each chain boundary of a multi-chain
 		// plan the engine renegotiates the reservation — surplus threads
-		// return to the shared budget between chains instead of at Finish.
-		copts.Readmit = func(_, want, min int) int { return manager.Readmit(adm, want, min) }
+		// return to the shared budget between chains instead of at Finish —
+		// and the spill accountant is retargeted to the shrunk memory
+		// reservation (env is assigned below, before any chain runs).
+		copts.Readmit = func(chain, want, min int) int {
+			grant := manager.ReadmitAt(adm, chain, want, min)
+			if env != nil && adm.MemoryGrant() > 0 {
+				env.Mem.SetGrant(adm.MemoryHeld())
+			}
+			return grant
+		}
 		alloc = adm.Alloc()
 		utilization = adm.Stats.Utilization
 	} else {
@@ -357,6 +369,22 @@ func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 			cancel()
 			return nil, err
 		}
+	}
+	// Larger-than-memory execution: own the spill environment (instead of
+	// letting the engine create one) so the admission grant can be
+	// renegotiated mid-query and the database-wide buffer-pool metrics see
+	// this query's read-back traffic. Admit rewrote copts.MemoryBudget to
+	// the granted bytes when the manager runs memory admission.
+	if copts.MemoryBudget > 0 {
+		env, err = storage.NewSpillEnv(copts.SpillDir, copts.MemoryBudget, storage.PoolPagesFor(copts.MemoryBudget), &s.db.poolMetrics)
+		if err != nil {
+			if adm != nil {
+				adm.Finish(err)
+			}
+			cancel()
+			return nil, err
+		}
+		copts.Spill = env
 	}
 
 	r := &Rows{
@@ -371,6 +399,15 @@ func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 	}
 	go func() {
 		res, execErr := core.ExecuteAllocated(qctx, execPlan, rels, copts, alloc)
+		if env != nil {
+			// Spill totals settle when the engine returns; Close removes the
+			// temp files on every exit path, including cancellation.
+			r.spilledBytes, r.spillPasses = env.Spilled()
+			if adm != nil {
+				adm.NoteSpill(r.spilledBytes, r.spillPasses)
+			}
+			env.Close()
+		}
 		if adm != nil {
 			// Threads are back in the budget before the cursor observes the
 			// end of the stream — Close-mid-result frees them immediately.
