@@ -70,8 +70,10 @@ func benchServeMain(args []string) {
 		go servers[i].Serve(ln)
 	}
 
-	// Boot the coordinator on its own listener.
-	coord, err := cluster.New(cluster.Config{Nodes: urls, Token: *token})
+	// Boot the coordinator on its own listener. The benchmark process's
+	// lifetime is the coordinator's lifecycle.
+	ctx := context.Background()
+	coord, err := cluster.New(ctx, cluster.Config{Nodes: urls, Token: *token})
 	if err != nil {
 		fatal(err)
 	}
@@ -98,7 +100,7 @@ func benchServeMain(args []string) {
 		{SQL: "SELECT two, SUM(unique1) FROM wisc WHERE unique2 < ? GROUP BY two", Params: 1},
 		{SQL: "SELECT A.id FROM A JOIN B ON A.k = B.k WHERE B.id < ?", Params: 1},
 	}
-	res, err := workload.OpenLoop(context.Background(), workload.OpenLoopConfig{
+	res, err := workload.OpenLoop(ctx, workload.OpenLoopConfig{
 		Statements:  mix,
 		Rate:        *rate,
 		Duration:    *duration,
@@ -128,7 +130,7 @@ func benchServeMain(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	coord.Poll(context.Background())
+	coord.Poll(ctx)
 	st := coord.Stats()
 
 	report := map[string]any{

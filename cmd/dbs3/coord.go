@@ -43,7 +43,13 @@ func coordMain(args []string) {
 		fatal(fmt.Errorf("coord needs -nodes"))
 	}
 
-	coord, err := cluster.New(cluster.Config{
+	// The signal context is the coordinator's lifecycle: SIGINT/SIGTERM
+	// stops the background poller (cancelling in-flight /stats requests)
+	// along with the HTTP front end.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	coord, err := cluster.New(ctx, cluster.Config{
 		Nodes:        nodeList,
 		Token:        *token,
 		Wire:         *wire,
@@ -58,7 +64,7 @@ func coordMain(args []string) {
 
 	// Surface dead nodes at startup rather than on the first query; the
 	// cluster still starts (nodes may join late), the operator just knows.
-	probeCtx, probeCancel := context.WithTimeout(context.Background(), *timeout)
+	probeCtx, probeCancel := context.WithTimeout(ctx, *timeout)
 	if err := coord.Health(probeCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "dbs3: warning: %v\n", err)
 	}
@@ -72,8 +78,6 @@ func coordMain(args []string) {
 		len(nodeList), ln.Addr(), strings.Join(nodeList, ", "))
 
 	httpSrv := &http.Server{Handler: coord.Handler()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	select {

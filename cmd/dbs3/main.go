@@ -237,7 +237,7 @@ func runBatch(db *dbs3.Database, query string, opt *dbs3.Options, workers, repea
 		}
 	}
 
-	var queries, rowsOut, threadSum, failures int64
+	var queries, rowsOut, threadSum, failures atomic.Int64
 	var utilSum atomic.Int64 // utilization * 1e6, summed
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -250,7 +250,7 @@ func runBatch(db *dbs3.Database, query string, opt *dbs3.Options, workers, repea
 				rows, err := stmt.Query()
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "dbs3: worker %d: %v\n", w, err)
-					atomic.AddInt64(&failures, 1)
+					failures.Add(1)
 					return
 				}
 				n := 0
@@ -259,12 +259,12 @@ func runBatch(db *dbs3.Database, query string, opt *dbs3.Options, workers, repea
 				}
 				if err := rows.Err(); err != nil {
 					fmt.Fprintf(os.Stderr, "dbs3: worker %d: %v\n", w, err)
-					atomic.AddInt64(&failures, 1)
+					failures.Add(1)
 					return
 				}
-				atomic.AddInt64(&queries, 1)
-				atomic.AddInt64(&rowsOut, int64(n))
-				atomic.AddInt64(&threadSum, int64(rows.Threads()))
+				queries.Add(1)
+				rowsOut.Add(int64(n))
+				threadSum.Add(int64(rows.Threads()))
 				utilSum.Add(int64(rows.Utilization() * 1e6))
 			}
 		}(w)
@@ -275,12 +275,12 @@ func runBatch(db *dbs3.Database, query string, opt *dbs3.Options, workers, repea
 	st := m.Stats()
 	fmt.Printf("batch: %d workers x %d executions over %d statement(s), budget %d threads, %s priority\n",
 		workers, repeat*len(stmts), len(stmts), budget, opt.Priority)
-	fmt.Printf("  queries:        %d (%.1f queries/s)\n", queries, float64(queries)/elapsed.Seconds())
+	fmt.Printf("  queries:        %d (%.1f queries/s)\n", queries.Load(), float64(queries.Load())/elapsed.Seconds())
 	fmt.Printf("  elapsed:        %v\n", elapsed.Round(time.Millisecond))
-	fmt.Printf("  rows returned:  %d\n", rowsOut)
-	if queries > 0 {
+	fmt.Printf("  rows returned:  %d\n", rowsOut.Load())
+	if queries.Load() > 0 {
 		fmt.Printf("  mean threads:   %.2f per query (effective utilization %.2f mean, EWMA %.2f)\n",
-			float64(threadSum)/float64(queries), float64(utilSum.Load())/1e6/float64(queries), st.SmoothedUtilization)
+			float64(threadSum.Load())/float64(queries.Load()), float64(utilSum.Load())/1e6/float64(queries.Load()), st.SmoothedUtilization)
 	}
 	fmt.Printf("  manager:        admitted %d, completed %d, failed %d, cancelled %d, rejected %d, peak threads %d/%d\n",
 		st.Admitted, st.Completed, st.Failed, st.Cancelled, st.Rejected, st.PeakThreads, budget)
@@ -293,7 +293,7 @@ func runBatch(db *dbs3.Database, query string, opt *dbs3.Options, workers, repea
 			st.MemBudget, st.PeakMem, st.SpilledBytes, st.SpillPasses)
 	}
 	fmt.Printf("  plan cache:     %d hits, %d misses\n", st.PlanCacheHits, st.PlanCacheMisses)
-	if failures > 0 {
+	if failures.Load() > 0 {
 		os.Exit(1)
 	}
 }

@@ -490,6 +490,7 @@ type OperatorStats struct {
 // the compared column). Close the returned cursor (or drain it) — an
 // abandoned open cursor pins its query's threads on sink backpressure.
 func (db *Database) Query(sql string, opt *Options, args ...any) (*Rows, error) {
+	//dbs3lint:ignore ctxflow documented ctx-less convenience shim over QueryContext
 	return db.QueryContext(context.Background(), sql, opt, args...)
 }
 
@@ -519,6 +520,7 @@ func (db *Database) QueryContext(ctx context.Context, sql string, opt *Options, 
 // it runs QueryContext and drains the cursor into a Result. Prefer the
 // cursor for large results; QueryAll holds the whole table in memory.
 func (db *Database) QueryAll(sql string, opt *Options, args ...any) (*Result, error) {
+	//dbs3lint:ignore ctxflow documented ctx-less convenience shim over QueryAllContext
 	return db.QueryAllContext(context.Background(), sql, opt, args...)
 }
 
@@ -537,6 +539,7 @@ func (db *Database) QueryAllContext(ctx context.Context, sql string, opt *Option
 // and the desired total it renegotiates for at its materialization point
 // under a QueryManager.
 func (db *Database) Explain(sql string, opt *Options) (string, error) {
+	//dbs3lint:ignore ctxflow documented ctx-less convenience shim over ExplainContext
 	return db.ExplainContext(context.Background(), sql, opt)
 }
 

@@ -1,0 +1,126 @@
+// Package analysis is dbs3's repo-specific static-analysis suite: a small,
+// dependency-free skeleton of golang.org/x/tools/go/analysis (the container
+// this repo builds in has no module proxy, so the real framework cannot be
+// vendored) plus the analyzers that encode the engine's concurrency
+// invariants. The API deliberately mirrors go/analysis — Analyzer, Pass,
+// Diagnostic, Reportf — so the suite can migrate onto x/tools without
+// touching any analyzer body once the dependency is available.
+//
+// Analyzers run over fully type-checked packages (see Load) and report
+// diagnostics that the drivers (cmd/dbs3lint, the analysistest harness, the
+// module smoke test) filter through //dbs3lint:ignore directives before
+// surfacing.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one invariant checker. The shape matches
+// x/tools/go/analysis.Analyzer minus facts and requires (every dbs3
+// analyzer is package-local and independent).
+type Analyzer struct {
+	// Name is the analyzer's identifier: the word used on the command
+	// line, in diagnostics, and in //dbs3lint:ignore directives.
+	Name string
+	// Doc is the one-paragraph description shown by `dbs3lint -help`.
+	// By convention the first line names the invariant and the rest
+	// cites the historical bug that motivated it.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer, mirroring
+// x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// TestFiles reports, per *ast.File, whether the file is an
+	// _test.go file. Analyzers whose invariant only binds production
+	// code (ctxflow's no-root-contexts rule) consult this; analyzers
+	// about data races (atomicfield) deliberately do not.
+	TestFiles map[*ast.File]bool
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.reportAt(p.Fset.Position(pos), fmt.Sprintf(format, args...))
+}
+
+// reportAt records a diagnostic at an already-resolved position.
+func (p *Pass) reportAt(pos token.Position, msg string) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  msg,
+	})
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics in file/line order, after dropping findings suppressed by a
+// //dbs3lint:ignore directive. Malformed directives are themselves
+// reported (analyzer name "dbs3lint"), so a typo cannot silently disable
+// suppression — or silently keep it enabled.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ignores := newIgnoreIndex()
+	for _, pkg := range pkgs {
+		diags = append(diags, ignores.collect(pkg)...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				TestFiles: pkg.TestFiles,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ignores.suppresses(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}

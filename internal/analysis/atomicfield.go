@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicField enforces all-or-nothing atomicity: once any code path
+// touches a variable or struct field through sync/atomic
+// (atomic.AddInt64(&x, ...) and friends), every other access anywhere in
+// the package — tests included — must be atomic too. A single plain read
+// next to an atomic writer is a data race the race detector only reports
+// when a test happens to interleave it.
+//
+// The analyzer works package-at-a-time over the test variant (production
+// files + _test.go files), so an atomic store in production code convicts
+// a plain read in a test and vice versa. Struct-literal keys are exempt
+// (initialization before the value is shared is the documented safe
+// idiom), as is the &x argument of the atomic call itself.
+//
+// Prefer the atomic.Int64/Uint64/Bool/Pointer wrapper types for new code:
+// they make non-atomic access unrepresentable and this analyzer obsolete
+// for the fields that use them.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "a variable accessed via sync/atomic anywhere must be accessed atomically everywhere\n\n" +
+		"Mixing atomic.AddInt64(&x, 1) with a plain `x` read races. Motivated by the batch-mode\n" +
+		"counters in cmd/dbs3, which mixed atomic adds from worker goroutines with plain reads.",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: collect every variable whose address feeds a sync/atomic
+	// call, the first such site (for the diagnostic), and the exact
+	// operand nodes (exempt from pass 2).
+	atomicVars := make(map[*types.Var]token.Pos)
+	exempt := make(map[ast.Expr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := resolveCallee(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !isAtomicOpName(fn.Name()) {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on atomic.Int64 etc. are always safe
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			operand := ast.Unparen(addr.X)
+			if v := addressedVar(info, operand); v != nil {
+				if _, seen := atomicVars[v]; !seen {
+					atomicVars[v] = call.Pos()
+				}
+				exempt[operand] = true
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other use of those variables must be exempt.
+	litKeys := compositeLitKeys(pass.Files)
+	var finds []Diagnostic // gathered locally to keep file order stable regardless of walk order
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var v *types.Var
+			var at ast.Expr
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				at = n
+				v = addressedVar(info, n)
+			case *ast.Ident:
+				at = n
+				if obj, ok := info.Uses[n].(*types.Var); ok && !obj.IsField() {
+					v = obj
+				}
+			default:
+				return true
+			}
+			first, tracked := atomicVars[v]
+			if !tracked || exempt[at] || litKeys[at] {
+				return true
+			}
+			finds = append(finds, Diagnostic{
+				Pos: pass.Fset.Position(at.Pos()),
+				Message: "non-atomic access to " + v.Name() +
+					", which is accessed with sync/atomic at " + relPos(pass.Fset.Position(first)) +
+					": use sync/atomic (or migrate to atomic." + suggestType(v.Type()) + ")",
+			})
+			// Don't descend further: x in x.f names the struct, not
+			// the field, and reporting both would double-count.
+			return false
+		})
+	}
+	sort.Slice(finds, func(i, j int) bool {
+		a, b := finds[i].Pos, finds[j].Pos
+		return a.Filename < b.Filename || (a.Filename == b.Filename && a.Offset < b.Offset)
+	})
+	for _, d := range finds {
+		pass.reportAt(d.Pos, d.Message)
+	}
+	return nil
+}
+
+// addressedVar resolves a selector to the field it selects, or a qualified
+// package-level variable. Returns nil for methods and non-var selections.
+func addressedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+			return nil
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v // pkg.Var
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// isAtomicOpName matches the sync/atomic package-level operation families.
+func isAtomicOpName(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// compositeLitKeys marks the key expressions of keyed composite literals:
+// S{count: 0} names the field without accessing shared memory.
+func compositeLitKeys(files []*ast.File) map[ast.Expr]bool {
+	keys := make(map[ast.Expr]bool)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					keys[kv.Key] = true
+				}
+			}
+			return true
+		})
+	}
+	return keys
+}
+
+// suggestType picks the atomic wrapper type matching t, for the fix hint.
+func suggestType(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64, types.Int:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64, types.Uint, types.Uintptr:
+			return "Uint64"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	return "Value"
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CancelClass enforces the error-classification invariant from the PR 4
+// Finish-misclassification bug: whether an execution failed, was cancelled,
+// or timed out must be decided from the error the operation returned, via
+// errors.Is — never by identity-comparing against the context sentinel
+// errors (wrapped errors make == lie) and never by re-reading ctx.Err()
+// (the context may have been cancelled after an unrelated operator failure,
+// which is exactly how Failed queries were once counted Cancelled).
+//
+// Flagged forms:
+//
+//	err == context.Canceled            (also !=, and DeadlineExceeded)
+//	switch err { case context.Canceled: ... }
+//	switch ctx.Err() { ... }
+//	errors.Is(ctx.Err(), ...)          (re-reading instead of classifying)
+//
+// ctx.Err() != nil as a pure liveness check is fine and not flagged.
+var CancelClass = &Analyzer{
+	Name: "cancelclass",
+	Doc: "classify cancellation with errors.Is(err, context.Canceled), never == or a re-read of ctx.Err()\n\n" +
+		"Identity comparison misclassifies wrapped errors, and ctx.Err() answers \"is the context dead\",\n" +
+		"not \"why did this operation fail\". Motivated by Finish counting operator failures under\n" +
+		"cancel-on-error as Cancelled instead of Failed.",
+	Run: runCancelClass,
+}
+
+func runCancelClass(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if name := ctxSentinelName(info, n.X); name != "" {
+					pass.Reportf(n.Pos(), "error compared with %s against context.%s: use errors.Is(err, context.%s)", n.Op, name, name)
+				} else if name := ctxSentinelName(info, n.Y); name != "" {
+					pass.Reportf(n.Pos(), "error compared with %s against context.%s: use errors.Is(err, context.%s)", n.Op, name, name)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isCtxErrCall(info, n.Tag) {
+					pass.Reportf(n.Tag.Pos(), "switch on ctx.Err() classifies the context's state, not the operation's error: use errors.Is on the returned error")
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, v := range cc.List {
+						if name := ctxSentinelName(info, v); name != "" {
+							pass.Reportf(v.Pos(), "case context.%s compares errors by identity: use errors.Is(err, context.%s)", name, name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				fn := resolveCallee(info, n)
+				if isPkgFunc(fn, "errors", "Is") && len(n.Args) > 0 && isCtxErrCall(info, n.Args[0]) {
+					pass.Reportf(n.Args[0].Pos(), "errors.Is on a re-read of ctx.Err(): classify the error the operation returned, not the context's current state")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxSentinelName returns "Canceled" or "DeadlineExceeded" if e resolves to
+// that context sentinel error variable, else "".
+func ctxSentinelName(info *types.Info, e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "context" {
+		return ""
+	}
+	if v.Name() == "Canceled" || v.Name() == "DeadlineExceeded" {
+		return v.Name()
+	}
+	return ""
+}
+
+// isCtxErrCall reports whether e is a call of (context.Context).Err.
+func isCtxErrCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := resolveCallee(info, call)
+	if fn == nil || fn.Name() != "Err" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isContextType(sig.Recv().Type())
+}

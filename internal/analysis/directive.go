@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// The allowlist directive. A comment of the form
+//
+//	//dbs3lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// suppresses matching diagnostics on the comment's own line, or — when the
+// comment stands alone — on the next source line. The reason is mandatory:
+// an audited exception with no recorded justification is indistinguishable
+// from a stale one, so a bare directive is reported as its own finding
+// instead of being honored.
+const ignorePrefix = "//dbs3lint:ignore"
+
+// ignoreIndex maps filename → line → set of analyzer names suppressed on
+// that line. "*" suppresses every analyzer.
+type ignoreIndex struct {
+	byLine map[string]map[int]map[string]bool
+}
+
+func newIgnoreIndex() *ignoreIndex {
+	return &ignoreIndex{byLine: make(map[string]map[int]map[string]bool)}
+}
+
+// collect scans one package's comments for directives, recording the
+// well-formed ones and returning a diagnostic for each malformed one.
+func (ix *ignoreIndex) collect(pkg *Package) []Diagnostic {
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := c.Text[len(ignorePrefix):]
+				names, reason := splitDirective(rest)
+				if len(names) == 0 || reason == "" {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "dbs3lint",
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Message:  "malformed directive: want //dbs3lint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				// A directive on its own line covers the line below;
+				// a trailing directive covers its own line. Register
+				// both — a diagnostic on the comment's own line can
+				// only come from code sharing the line.
+				ix.add(pos.Filename, line, names)
+				ix.add(pos.Filename, line+1, names)
+			}
+		}
+	}
+	return malformed
+}
+
+func (ix *ignoreIndex) add(file string, line int, names []string) {
+	lines := ix.byLine[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		ix.byLine[file] = lines
+	}
+	set := lines[line]
+	if set == nil {
+		set = make(map[string]bool)
+		lines[line] = set
+	}
+	for _, n := range names {
+		set[n] = true
+	}
+}
+
+func (ix *ignoreIndex) suppresses(d Diagnostic) bool {
+	if d.Analyzer == "dbs3lint" {
+		return false // malformed-directive findings cannot be ignored away
+	}
+	set := ix.byLine[d.Pos.Filename][d.Pos.Line]
+	return set["*"] || set[d.Analyzer]
+}
+
+// splitDirective parses "<names> <reason>" where names is a comma-separated
+// analyzer list. Returns nil names if the list is empty or contains blanks.
+func splitDirective(rest string) (names []string, reason string) {
+	rest = strings.TrimSpace(rest)
+	namesPart, reason, _ := strings.Cut(rest, " ")
+	reason = strings.TrimSpace(reason)
+	if namesPart == "" {
+		return nil, reason
+	}
+	for _, n := range strings.Split(namesPart, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			return nil, reason
+		}
+		names = append(names, n)
+	}
+	return names, reason
+}

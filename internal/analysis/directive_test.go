@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeScratch materializes one source file as a package and loads it.
+func writeScratch(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return loadFixture(t, dir)
+}
+
+// A directive without a reason is itself a finding — and one that cannot
+// be suppressed, so audits can't be waved through silently.
+func TestMalformedDirectiveReported(t *testing.T) {
+	pkg := writeScratch(t, `package scratch
+
+import "context"
+
+func bare(ctx context.Context) {
+	//dbs3lint:ignore ctxflow
+	use(context.Background())
+}
+
+func use(context.Context) {}
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{CtxFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMalformed, sawCtxflow bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "dbs3lint":
+			sawMalformed = sawMalformed || strings.Contains(d.Message, "reason")
+		case "ctxflow":
+			sawCtxflow = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("missing malformed-directive diagnostic in %v", diags)
+	}
+	if !sawCtxflow {
+		t.Errorf("malformed directive must not suppress the underlying finding, got %v", diags)
+	}
+}
+
+// A directive naming analyzer X must not suppress analyzer Y on that line.
+func TestDirectiveScopedToNamedAnalyzer(t *testing.T) {
+	pkg := writeScratch(t, `package scratch
+
+import "context"
+
+func scoped(ctx context.Context) {
+	//dbs3lint:ignore lockio wrong analyzer named on purpose
+	use(context.Background())
+}
+
+func use(context.Context) {}
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{CtxFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "ctxflow" {
+		t.Fatalf("diagnostics = %v, want exactly one ctxflow finding", diags)
+	}
+}
+
+// A well-formed directive suppresses the same line and the next line, and
+// supports comma-separated analyzer lists.
+func TestDirectiveSuppression(t *testing.T) {
+	pkg := writeScratch(t, `package scratch
+
+import "context"
+
+func shim(ctx context.Context) {
+	//dbs3lint:ignore ctxflow,lockio fixture: deliberate API shim
+	use(context.Background())
+	use(context.Background()) // this one is past the directive window
+}
+
+func use(context.Context) {}
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{CtxFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly one (only the line past the window)", diags)
+	}
+	if got := diags[0].Pos.Line; got != 8 {
+		t.Errorf("surviving finding on line %d, want 8", got)
+	}
+}

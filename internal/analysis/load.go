@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one fully type-checked unit of analysis. When test loading is
+// enabled the "package" for X is go's test variant "X [X.test]" — the same
+// files plus the in-package _test.go files — so invariants that extend into
+// tests (atomicfield) see every access.
+type Package struct {
+	Path      string // import path as reported by go list (variant suffix stripped)
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+	TestFiles map[*ast.File]bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	ForTest    string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matched by patterns under dir (a directory
+// inside the target module). It shells out to `go list -export` so every
+// dependency — including the standard library — is resolved from compiled
+// export data in the local build cache; no network, no GOPATH, no
+// golang.org/x/tools. With tests true, in-package test variants replace
+// their base package and external _test packages are loaded too.
+func Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	// Pass 1: which import paths did the patterns actually match?
+	// (`-deps` below adds the whole dependency closure; only pattern
+	// matches are analyzed.)
+	targets := make(map[string]bool)
+	roots, err := goList(dir, append([]string{"-e"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range roots {
+		targets[p.ImportPath] = true
+	}
+
+	// Pass 2: the closure with export data. -test synthesizes the
+	// variant and _test packages and compiles export data for their
+	// dependency closure too.
+	args := []string{"-e", "-export", "-deps"}
+	if tests {
+		args = append(args, "-test")
+	}
+	pkgs, err := goList(dir, append(args, patterns...))
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	// Pick the units to analyze. For each target X: the variant
+	// "X [X.test]" supersedes X when present; "X_test [X.test]"
+	// rides along; the synthesized test main "X.test" never runs
+	// (its source lives in the build cache, not the repo).
+	hasVariant := make(map[string]bool)
+	if tests {
+		for _, p := range pkgs {
+			if p.ForTest != "" && !strings.HasSuffix(p.ImportPath, ".test") &&
+				strings.TrimSuffix(p.Name, "_test") == p.Name {
+				hasVariant[p.ForTest] = true
+			}
+		}
+	}
+	var selected []*listPkg
+	for _, p := range pkgs {
+		if p.Standard || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		switch {
+		case p.ForTest != "" && strings.HasSuffix(p.Name, "_test"):
+			if !targets[p.ForTest] {
+				continue
+			}
+		case p.ForTest != "":
+			if !targets[p.ForTest] {
+				continue
+			}
+		default:
+			if !targets[p.ImportPath] || hasVariant[p.ImportPath] {
+				continue
+			}
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		selected = append(selected, p)
+	}
+
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range selected {
+		pkg, err := check(fset, p, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// check parses and type-checks one package against export data. Each
+// package gets a fresh importer: the gc importer caches packages by import
+// path, and a test variant shares its base package's path, so a shared
+// cache could hand the base export data to a unit that needs the variant.
+func check(fset *token.FileSet, lp *listPkg, exports map[string]string) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	testFiles := make(map[*ast.File]bool, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		testFiles[f] = strings.HasSuffix(name, "_test.go")
+	}
+
+	lookup := func(ipath string) (io.ReadCloser, error) {
+		if mapped, ok := lp.ImportMap[ipath]; ok {
+			ipath = mapped
+		}
+		exp, ok := exports[ipath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", ipath)
+		}
+		return os.Open(exp)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	path := lp.ImportPath
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i] // "X [X.test]" → X
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{
+		Path:      path,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		TestFiles: testFiles,
+	}, nil
+}
+
+// goList runs `go list -json=<fields>` with the given extra args in dir and
+// decodes the JSON stream.
+func goList(dir string, args []string) ([]*listPkg, error) {
+	fields := "-json=ImportPath,Name,ForTest,Dir,Export,GoFiles,ImportMap,Standard,Incomplete,Error"
+	cmd := exec.Command("go", append([]string{"list", fields}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

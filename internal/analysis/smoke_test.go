@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestModuleIsLintClean is the keep-it-clean gate: the full module —
+// tests included — must produce zero dbs3lint diagnostics. A finding here
+// means either fix the code or add an audited //dbs3lint:ignore with a
+// reason; this test is what CI's lint job leans on.
+func TestModuleIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	root := strings.TrimSpace(string(out))
+	pkgs, err := Load(root, true, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load returned no packages")
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d.String())
+	}
+}

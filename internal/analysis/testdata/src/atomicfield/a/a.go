@@ -1,0 +1,66 @@
+// Fixture: the atomicfield invariant — a variable or field touched via
+// sync/atomic anywhere must be accessed atomically everywhere (tests
+// included; see a_test.go).
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	other int64
+	safe  atomic.Int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Positive: a plain read of an atomically-updated field races.
+func (c *counter) badRead() int64 {
+	return c.n // want `non-atomic access to n`
+}
+
+// Positive: a plain write races too.
+func (c *counter) badWrite() {
+	c.n = 0 // want `non-atomic access to n`
+}
+
+// Negative: atomic access is the invariant.
+func (c *counter) goodLoad() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// Negative: a sibling field never touched atomically is unconstrained.
+func (c *counter) goodOther() int64 {
+	c.other++
+	return c.other
+}
+
+// Negative: the atomic wrapper types make violations unrepresentable.
+func (c *counter) goodTyped() int64 {
+	c.safe.Add(1)
+	return c.safe.Load()
+}
+
+// Negative: keyed composite literals initialize before the value is
+// shared — the documented safe idiom.
+func newCounter() *counter {
+	return &counter{n: 0}
+}
+
+// Negative: an audited exception, suppressed by the allowlist directive.
+func (c *counter) goodAllowlisted() int64 {
+	//dbs3lint:ignore atomicfield fixture: read after all writers joined
+	return c.n
+}
+
+var hits int64
+
+func incGlobal() {
+	atomic.AddInt64(&hits, 1)
+}
+
+// Positive: package-level variables are convicted the same way.
+func badGlobal() int64 {
+	return hits // want `non-atomic access to hits`
+}

@@ -1,0 +1,8 @@
+// Positive file: _test.go sources are NOT exempt from atomicfield — a
+// test's plain read of an atomically-updated field is the same data race,
+// just one the race detector only sees when an interleaving happens.
+package a
+
+func testBadRead(c *counter) int64 {
+	return c.n // want `non-atomic access to n`
+}

@@ -1,0 +1,71 @@
+// Fixture: the cancelclass invariant — classify cancellation with
+// errors.Is on the operation's error, never identity comparison against
+// the context sentinels or a re-read of ctx.Err().
+package a
+
+import (
+	"context"
+	"errors"
+)
+
+// Positive: the PR 4 misclassification shape.
+func badEq(err error) bool {
+	return err == context.Canceled // want `use errors\.Is\(err, context\.Canceled\)`
+}
+
+// Positive: order and operator don't matter.
+func badNeq(err error) bool {
+	return context.DeadlineExceeded != err // want `use errors\.Is\(err, context\.DeadlineExceeded\)`
+}
+
+// Positive: switching on ctx.Err() classifies the context's state, not
+// the operation's outcome.
+func badSwitchCtxErr(ctx context.Context) string {
+	switch ctx.Err() { // want `switch on ctx\.Err\(\)`
+	case context.Canceled:
+		return "cancelled"
+	default:
+		return "other"
+	}
+}
+
+// Positive: a case clause is an identity comparison in disguise.
+func badCase(err error) string {
+	switch err {
+	case context.Canceled: // want `case context\.Canceled compares errors by identity`
+		return "cancelled"
+	case nil:
+		return "ok"
+	}
+	return "failed"
+}
+
+// Positive: errors.Is applied to a re-read of ctx.Err() still classifies
+// the wrong thing.
+func badReRead(ctx context.Context, err error) bool {
+	return errors.Is(ctx.Err(), context.Canceled) // want `re-read of ctx\.Err\(\)`
+}
+
+// Negative: the invariant itself.
+func goodErrorsIs(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Negative: ctx.Err() != nil as a pure liveness check is fine.
+func goodLiveness(ctx context.Context) bool {
+	return ctx.Err() != nil
+}
+
+// Negative: identity comparison against non-context sentinels is outside
+// this analyzer's scope (io.EOF et al. are documented == sentinels).
+var errSentinel = errors.New("sentinel")
+
+func goodOtherSentinel(err error) bool {
+	return err == errSentinel
+}
+
+// Negative: an audited exception, suppressed by the allowlist directive.
+func goodAllowlisted(err error) bool {
+	//dbs3lint:ignore cancelclass fixture: audited identity comparison
+	return err == context.Canceled
+}

@@ -1,0 +1,48 @@
+// Fixture: the ctxflow invariant — no context.Background()/TODO() where a
+// caller's context is (or should be) available. Package a is library code,
+// so even ctx-less functions may not mint roots.
+package a
+
+import "context"
+
+func sink(context.Context) {}
+
+// Positive: a ctx-bearing function severing the cancellation chain.
+func badSever(ctx context.Context) {
+	sink(context.Background()) // want `inside a function that receives a context\.Context`
+}
+
+// Positive: context.TODO is the same severance.
+func badTODO(ctx context.Context) {
+	sink(context.TODO()) // want `inside a function that receives a context\.Context`
+}
+
+// Positive: a function literal inherits the enclosing function's ctx.
+func badNestedLit(ctx context.Context) func() {
+	return func() {
+		sink(context.Background()) // want `inside a function that receives a context\.Context`
+	}
+}
+
+// Positive: library code with no ctx parameter must be handed one.
+func badLibraryRoot() {
+	sink(context.Background()) // want `in library code`
+}
+
+// Negative: threading the caller's context is the invariant.
+func goodThreaded(ctx context.Context) {
+	sink(ctx)
+}
+
+// Negative: deriving from the caller's context is fine.
+func goodDerived(ctx context.Context) {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sink(c)
+}
+
+// Negative: a documented API shim, suppressed by the allowlist directive.
+func goodShim() {
+	//dbs3lint:ignore ctxflow fixture: deliberate ctx-less convenience wrapper
+	sink(context.Background())
+}

@@ -1,0 +1,14 @@
+// Negative file: _test.go sources are roots — tests mint contexts freely,
+// so nothing here may be reported even though the same shapes are
+// positives in a.go.
+package a
+
+import "context"
+
+func helperNoCtx() {
+	sink(context.Background())
+}
+
+func helperWithCtx(ctx context.Context) {
+	sink(context.Background())
+}

@@ -1,0 +1,16 @@
+// Fixture: package main may mint root contexts (a binary's main is where
+// lifecycles begin) — but a ctx-bearing function still may not sever.
+package main
+
+import "context"
+
+func main() {
+	run(context.Background()) // negative: roots are minted at main
+}
+
+func run(ctx context.Context) {
+	use(context.Background()) // want `inside a function that receives a context\.Context`
+	use(ctx)
+}
+
+func use(context.Context) {}

@@ -1,0 +1,132 @@
+// Fixture: the lockio invariant — no blocking operation while a
+// sync.Mutex/RWMutex is held. Positives carry want comments; everything
+// else must stay silent.
+package a
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type pool struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	src  *os.File
+}
+
+type source interface {
+	Read(p []byte) (int, error)
+}
+
+// The acceptance-criteria pattern: a mutex held across os.File.Read — the
+// PR 8 BufferPool.Get bug verbatim.
+func (p *pool) badFileRead(buf []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.src.Read(buf) // want `reads from a file while mutex "p\.mu" is held`
+}
+
+func (p *pool) badSleep() {
+	p.mu.Lock()
+	time.Sleep(time.Millisecond) // want `sleeps while mutex "p\.mu" is held`
+	p.mu.Unlock()
+}
+
+func (p *pool) badChanOps(ch chan int) {
+	p.mu.Lock()
+	ch <- 1 // want `sends on a channel while mutex "p\.mu" is held`
+	<-ch    // want `receives from a channel while mutex "p\.mu" is held`
+	p.mu.Unlock()
+}
+
+func (p *pool) badSelect(ch chan int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select { // want `blocks in select while mutex "p\.mu" is held`
+	case <-ch:
+	default:
+	}
+}
+
+func (p *pool) badIfaceRead(s source, buf []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s.Read(buf) // want `calls interface method Read \(potential I/O\) while mutex "p\.mu" is held`
+}
+
+func (p *pool) badRangeChan(ch chan int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for range ch { // want `receives from a channel while mutex "p\.mu" is held`
+	}
+}
+
+func (p *pool) badRLock(buf []byte) {
+	p.rw.RLock()
+	defer p.rw.RUnlock()
+	p.src.Read(buf) // want `reads from a file while mutex "p\.rw" is held`
+}
+
+func (p *pool) badWaitGroup(wg *sync.WaitGroup) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wg.Wait() // want `waits for a WaitGroup while mutex "p\.mu" is held`
+}
+
+// Negative: the blocking call happens after the unlock.
+func (p *pool) goodAfterUnlock(buf []byte) {
+	p.mu.Lock()
+	n := len(buf)
+	p.mu.Unlock()
+	_ = n
+	p.src.Read(buf)
+}
+
+// Negative: Cond.Wait releases the mutex while asleep — it is the
+// sanctioned way to sleep at a lock.
+func (p *pool) goodCondWait() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cond.Wait()
+}
+
+// Negative: a lock taken and released inside a branch does not leak into
+// the code after it.
+func (p *pool) goodBranchScoped(b bool, buf []byte) {
+	if b {
+		p.mu.Lock()
+		p.mu.Unlock()
+	}
+	p.src.Read(buf)
+}
+
+// Negative: a goroutine body launched under the lock runs outside the
+// critical section.
+func (p *pool) goodGoroutineBody(ch chan int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		ch <- 1
+	}()
+}
+
+// Negative: an audited exception, suppressed by the allowlist directive.
+func (p *pool) goodAllowlisted() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//dbs3lint:ignore lockio fixture: audited site, backing file is an in-memory pipe
+	p.src.Sync()
+}
+
+// Negative: non-blocking work under the lock is the normal case.
+func (p *pool) goodPlainWork(vals []int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}

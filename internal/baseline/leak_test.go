@@ -1,0 +1,62 @@
+package baseline
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"dbs3/internal/workload"
+)
+
+// checkNoLeak fails if the goroutine count has not returned to the
+// pre-call level shortly after fn returns — both join baselines spawn a
+// worker per fragment (or per thread) and must join every one, including
+// on the error paths.
+func checkNoLeak(t *testing.T, fn func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, n)
+	}
+}
+
+func TestThreadPerInstanceJoinNoLeak(t *testing.T) {
+	db, err := workload.NewJoinDB(500, 100, 10, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNoLeak(t, func() {
+		if _, err := ThreadPerInstanceJoin(db.A, db.B, "k", "k"); err != nil {
+			t.Error(err)
+		}
+	})
+	// The error path returns before any worker is spawned; it must not
+	// strand a partial fan-out either.
+	db8, err := workload.NewJoinDB(100, 24, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNoLeak(t, func() {
+		if _, err := ThreadPerInstanceJoin(db.A, db8.B, "k", "k"); err == nil {
+			t.Error("mismatched degrees: expected error")
+		}
+	})
+}
+
+func TestDynamicJoinNoLeak(t *testing.T) {
+	db, err := workload.NewJoinDB(500, 100, 10, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNoLeak(t, func() {
+		dj := DynamicJoin{PageSize: 16, Threads: 8}
+		if _, err := dj.Run(db.A.Union(), db.B.Union(), "k", "k"); err != nil {
+			t.Error(err)
+		}
+	})
+}

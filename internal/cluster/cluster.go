@@ -96,7 +96,7 @@ type Coordinator struct {
 	failures       atomic.Int64
 	repreparations atomic.Int64
 
-	stopPoll chan struct{}
+	stopPoll context.CancelFunc
 	pollDone chan struct{}
 }
 
@@ -115,8 +115,10 @@ type node struct {
 }
 
 // New builds a Coordinator over cfg.Nodes and starts the health poller
-// (unless cfg.PollInterval is negative).
-func New(cfg Config) (*Coordinator, error) {
+// (unless cfg.PollInterval is negative). ctx is the coordinator's
+// lifecycle: cancelling it — or calling Close — stops the poller and
+// cancels its in-flight /stats requests.
+func New(ctx context.Context, cfg Config) (*Coordinator, error) {
 	if len(cfg.Nodes) == 0 {
 		return nil, fmt.Errorf("cluster: no worker nodes configured")
 	}
@@ -164,17 +166,19 @@ func New(cfg Config) (*Coordinator, error) {
 		interval = defaultPollInterval
 	}
 	if interval > 0 {
-		c.stopPoll = make(chan struct{})
+		pollCtx, cancel := context.WithCancel(ctx)
+		c.stopPoll = cancel
 		c.pollDone = make(chan struct{})
-		go c.pollLoop(interval)
+		go c.pollLoop(pollCtx, interval)
 	}
 	return c, nil
 }
 
-// Close stops the background poller. In-flight queries are unaffected.
+// Close stops the background poller, cancelling any poll round still in
+// flight. In-flight queries are unaffected.
 func (c *Coordinator) Close() {
 	if c.stopPoll != nil {
-		close(c.stopPoll)
+		c.stopPoll()
 		<-c.pollDone
 		c.stopPoll = nil
 	}
@@ -189,18 +193,21 @@ func (c *Coordinator) Nodes() []string {
 	return out
 }
 
-// pollLoop runs the utilization exchange until Close.
-func (c *Coordinator) pollLoop(interval time.Duration) {
+// pollLoop runs the utilization exchange until the lifecycle context is
+// cancelled (Close, or the caller's ctx). Each round inherits that
+// context, so shutdown aborts a poll blocked on a dead worker instead of
+// waiting out its timeout.
+func (c *Coordinator) pollLoop(ctx context.Context, interval time.Duration) {
 	defer close(c.pollDone)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	// Prime immediately so the first queries already see remote load.
-	c.Poll(context.Background())
+	c.Poll(ctx)
 	for {
 		select {
 		case <-ticker.C:
-			c.Poll(context.Background())
-		case <-c.stopPoll:
+			c.Poll(ctx)
+		case <-ctx.Done():
 			return
 		}
 	}

@@ -75,7 +75,7 @@ func newTestCluster(t *testing.T, token string) *testCluster {
 	}
 	tc.ref = dbs3.New()
 	populate(t, tc.ref)
-	coord, err := New(Config{Nodes: tc.urls, Token: token, PollInterval: -1})
+	coord, err := New(context.Background(), Config{Nodes: tc.urls, Token: token, PollInterval: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

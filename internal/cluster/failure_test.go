@@ -46,7 +46,7 @@ func newFailureCluster(t *testing.T) *failureCluster {
 		fc.ts = append(fc.ts, ts)
 		fc.urls = append(fc.urls, ts.URL)
 	}
-	coord, err := New(Config{Nodes: fc.urls, HTTP: fc.httpc, PollInterval: -1, Retries: -1})
+	coord, err := New(context.Background(), Config{Nodes: fc.urls, HTTP: fc.httpc, PollInterval: -1, Retries: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -200,6 +200,7 @@ func (r *Result) Relation(name string) (*relation.Relation, error) {
 // with full pipelining inside each chain. It is a thin wrapper over
 // ExecuteContext with a background context.
 func Execute(plan *lera.Plan, db DB, opts Options) (*Result, error) {
+	//dbs3lint:ignore ctxflow documented ctx-less convenience shim over ExecuteContext
 	return ExecuteContext(context.Background(), plan, db, opts)
 }
 

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -183,7 +184,7 @@ func TestManagerBatchQueueReserve(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		go func() {
 			opts := core.Options{Threads: 1}
-			if _, err := m.Admit(ctx, plan, db, &opts, PriorityBatch); err != nil && err != context.Canceled {
+			if _, err := m.Admit(ctx, plan, db, &opts, PriorityBatch); err != nil && !errors.Is(err, context.Canceled) {
 				t.Error(err)
 			}
 		}()
@@ -199,7 +200,7 @@ func TestManagerBatchQueueReserve(t *testing.T) {
 	}
 	go func() {
 		opts := core.Options{Threads: 1}
-		if _, err := m.Admit(ctx, plan, db, &opts, PriorityInteractive); err != nil && err != context.Canceled {
+		if _, err := m.Admit(ctx, plan, db, &opts, PriorityInteractive); err != nil && !errors.Is(err, context.Canceled) {
 			t.Error(err)
 		}
 	}()

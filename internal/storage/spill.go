@@ -39,31 +39,47 @@ func (s *SpillFile) Append(img []byte) (int, error) {
 	if len(img) != PageSize {
 		return 0, fmt.Errorf("storage: spill page image is %d bytes, want %d", len(img), PageSize)
 	}
+	// Reserve the slot under the lock; write outside it. Holding the
+	// mutex across WriteAt would convoy concurrent readers of other
+	// slots behind this write's disk latency (the BufferPool.Get bug
+	// class). WriteAt on distinct offsets is safe concurrently, and a
+	// failed write just leaves a hole the caller never hands out —
+	// spill errors abandon the whole SpillSet.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return 0, fmt.Errorf("storage: append to closed spill file %s", s.name)
 	}
 	slot := s.pages
-	if _, err := s.f.WriteAt(img, int64(slot)*PageSize); err != nil {
+	s.pages++
+	f := s.f
+	s.mu.Unlock()
+	if _, err := f.WriteAt(img, int64(slot)*PageSize); err != nil {
 		return 0, fmt.Errorf("storage: writing spill page: %w", err)
 	}
-	s.pages++
 	return slot, nil
 }
 
-// Read returns the page image at slot.
+// Read returns the page image at slot. The bounds check happens under the
+// lock, the disk read outside it, so concurrent readers never serialize
+// behind one another's I/O. A Close racing the read surfaces as a read
+// error (closed descriptor), which only happens on the cancel/error path
+// where the result is already discarded.
 func (s *SpillFile) Read(slot int) ([]byte, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("storage: read of closed spill file %s", s.name)
 	}
 	if slot < 0 || slot >= s.pages {
-		return nil, fmt.Errorf("storage: read of slot %d in spill file with %d pages", slot, s.pages)
+		pages := s.pages
+		s.mu.Unlock()
+		return nil, fmt.Errorf("storage: read of slot %d in spill file with %d pages", slot, pages)
 	}
+	f := s.f
+	s.mu.Unlock()
 	img := make([]byte, PageSize)
-	if _, err := s.f.ReadAt(img, int64(slot)*PageSize); err != nil {
+	if _, err := f.ReadAt(img, int64(slot)*PageSize); err != nil {
 		return nil, fmt.Errorf("storage: reading spill page: %w", err)
 	}
 	return img, nil

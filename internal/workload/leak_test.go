@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestOpenLoopNoLeak: every issued statement runs on its own goroutine;
+// OpenLoop must join them all before returning — including statements
+// still in flight when the driver's duration (or its context) expires,
+// and including ones that error.
+func TestOpenLoopNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := OpenLoop(ctx, OpenLoopConfig{
+		Statements: []OpenLoopStatement{{SQL: "q", Params: 1}},
+		Rate:       400,
+		Duration:   10 * time.Second, // cut short by cancel
+		Seed:       3,
+		Run: func(ctx context.Context, sql string, args []any) error {
+			select {
+			case <-time.After(20 * time.Millisecond):
+			case <-ctx.Done():
+			}
+			if args[0].(int64)%3 == 0 {
+				return errors.New("synthetic failure")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, n)
+	}
+}

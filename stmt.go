@@ -277,6 +277,7 @@ func (s *Stmt) Close() error { return nil }
 // Query executes the prepared statement with a background context, binding
 // args to the statement's `?` placeholders in order.
 func (s *Stmt) Query(args ...any) (*Rows, error) {
+	//dbs3lint:ignore ctxflow documented ctx-less convenience shim over QueryContext
 	return s.QueryContext(context.Background(), args...)
 }
 
