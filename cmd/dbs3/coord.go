@@ -24,12 +24,16 @@ func coordMain(args []string) {
 	fs := flag.NewFlagSet("dbs3 coord", flag.ExitOnError)
 	var (
 		addr    = fs.String("addr", "127.0.0.1:8090", "listen address")
-		nodes   = fs.String("nodes", "", "comma-separated worker base URLs (e.g. http://h1:8080,http://h2:8080)")
+		nodes   = fs.String("nodes", "", "comma-separated worker base URLs, one entry per shard; \"|\" joins a shard's replicas (e.g. http://h1:8080,http://h2a:8080|http://h2b:8080)")
 		token   = fs.String("token", "", "bearer token: presented to workers and required of clients (empty = no auth)")
 		wire    = fs.String("wire", "columnar", "worker-link result encoding: columnar, ndjson")
 		poll    = fs.Duration("poll", 2*time.Second, "health/utilization poll interval (negative = off)")
 		timeout = fs.Duration("timeout", 10*time.Second, "per-worker-request header timeout")
 		retries = fs.Int("retries", 3, "connect retries per worker request (negative = off)")
+
+		retryWhole   = fs.Bool("retry-whole-query", false, "restart a query once when a replica dies after rows merged (only if nothing was delivered yet)")
+		brkThreshold = fs.Int("breaker-threshold", 3, "consecutive probe/query failures that open a replica's circuit breaker")
+		brkCooloff   = fs.Duration("breaker-cooloff", 5*time.Second, "how long an open breaker withholds traffic before half-opening")
 	)
 	fs.Parse(args)
 
@@ -50,23 +54,32 @@ func coordMain(args []string) {
 	defer stop()
 
 	coord, err := cluster.New(ctx, cluster.Config{
-		Nodes:        nodeList,
-		Token:        *token,
-		Wire:         *wire,
-		Timeout:      *timeout,
-		Retries:      *retries,
-		PollInterval: *poll,
+		Nodes:            nodeList,
+		Token:            *token,
+		Wire:             *wire,
+		Timeout:          *timeout,
+		Retries:          *retries,
+		PollInterval:     *poll,
+		RetryWholeQuery:  *retryWhole,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooloff:   *brkCooloff,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer coord.Close()
 
-	// Surface dead nodes at startup rather than on the first query; the
-	// cluster still starts (nodes may join late), the operator just knows.
+	// Surface dead replicas at startup rather than on the first query; the
+	// cluster still starts (nodes may join late), the operator just knows
+	// which shard is running without redundancy.
 	probeCtx, probeCancel := context.WithTimeout(ctx, *timeout)
-	if err := coord.Health(probeCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "dbs3: warning: %v\n", err)
+	if report, err := coord.Health(probeCtx); err != nil {
+		for _, nh := range report {
+			if !nh.Healthy {
+				fmt.Fprintf(os.Stderr, "dbs3: warning: shard %d replica %s down (breaker %s): %s\n",
+					nh.Shard, nh.Node, nh.Breaker, nh.Error)
+			}
+		}
 	}
 	probeCancel()
 
@@ -91,6 +104,6 @@ func coordMain(args []string) {
 		httpSrv.Close()
 	}
 	st := coord.Stats()
-	fmt.Printf("dbs3: coordinated %d queries (%d failed, %d statement re-prepares), %d/%d nodes healthy at exit\n",
-		st.Queries, st.Failures, st.Repreparations, st.Healthy, len(nodeList))
+	fmt.Printf("dbs3: coordinated %d queries (%d failed, %d failovers, %d whole-query retries, %d statement re-prepares), %d/%d replicas healthy at exit\n",
+		st.Queries, st.Failures, st.Failovers, st.WholeQueryRetries, st.Repreparations, st.Healthy, len(st.Nodes))
 }

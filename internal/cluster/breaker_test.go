@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker's cooloff deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, cooloff time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(threshold, cooloff)
+	b.now = clk.now
+	return b, clk
+}
+
+// TestBreakerOpensAtThreshold: consecutive failures open the breaker, and a
+// success anywhere in the streak resets the count.
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.failure()
+	b.failure()
+	if !b.allow() || b.current() != breakerClosed {
+		t.Fatalf("breaker opened below the threshold (state %v)", b.current())
+	}
+	b.success() // streak broken
+	b.failure()
+	b.failure()
+	if b.current() != breakerClosed {
+		t.Fatal("success did not reset the failure streak")
+	}
+	b.failure()
+	if b.allow() || b.current() != breakerOpen {
+		t.Fatalf("3 consecutive failures left the breaker %v", b.current())
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the cooloff the breaker half-opens; a
+// failure during the probe re-opens it, a success closes it.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(2, 10*time.Second)
+	b.failure()
+	b.failure()
+	if b.allow() {
+		t.Fatal("open breaker admitted traffic before the cooloff")
+	}
+	clk.advance(9 * time.Second)
+	if b.allow() {
+		t.Fatal("breaker half-opened before the cooloff elapsed")
+	}
+	clk.advance(time.Second)
+	if !b.allow() || b.current() != breakerHalfOpen {
+		t.Fatalf("cooloff elapsed but breaker is %v", b.current())
+	}
+	// Probe fails: straight back to open, with a fresh cooloff.
+	b.failure()
+	if b.allow() || b.current() != breakerOpen {
+		t.Fatalf("half-open failure left the breaker %v", b.current())
+	}
+	clk.advance(10 * time.Second)
+	if !b.allow() {
+		t.Fatal("re-opened breaker never half-opened again")
+	}
+	// Probe succeeds: closed, streak cleared.
+	b.success()
+	if b.current() != breakerClosed {
+		t.Fatalf("half-open success left the breaker %v", b.current())
+	}
+	b.failure()
+	if b.current() != breakerClosed {
+		t.Fatal("one failure re-opened a freshly closed breaker (streak not cleared)")
+	}
+}
+
+// TestBreakerOpenFailuresRefreshCooloff: failures while open (the poll
+// still probing a dead node) push the half-open horizon out — the breaker
+// only probes after a quiet cooloff.
+func TestBreakerOpenFailuresRefreshCooloff(t *testing.T) {
+	b, clk := newTestBreaker(1, 10*time.Second)
+	b.failure()
+	clk.advance(8 * time.Second)
+	b.failure() // still dead at the 8s probe
+	clk.advance(8 * time.Second)
+	if b.allow() {
+		t.Fatal("breaker half-opened 8s after its latest failure (cooloff is 10s)")
+	}
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("breaker never half-opened after a full quiet cooloff")
+	}
+}
+
+// TestBreakerSuccessClosesFromOpen: a success while open (a poll probe
+// answering during the cooloff) closes the breaker immediately — the
+// rejoin path does not wait out the cooloff.
+func TestBreakerSuccessClosesFromOpen(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Hour)
+	b.failure()
+	if b.allow() {
+		t.Fatal("breaker open")
+	}
+	b.success()
+	if !b.allow() || b.current() != breakerClosed {
+		t.Fatalf("success while open left the breaker %v", b.current())
+	}
+}
+
+// TestBreakerStateNames pins the strings surfaced on /stats and Health.
+func TestBreakerStateNames(t *testing.T) {
+	for state, want := range map[breakerState]string{
+		breakerClosed:   "closed",
+		breakerHalfOpen: "half-open",
+		breakerOpen:     "open",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("state %d named %q, want %q", int(state), got, want)
+		}
+	}
+}

@@ -269,8 +269,11 @@ func TestExecRepreparesExpiredNodeStatement(t *testing.T) {
 	}
 	// Forget node 0's half behind the coordinator's back.
 	tc.coord.mu.Lock()
-	nodeID := tc.coord.stmts[pr.ID].nodeID(0)
+	nodeID, ok := tc.coord.stmts[pr.ID].id(tc.coord.shards[0].replicas[0])
 	tc.coord.mu.Unlock()
+	if !ok {
+		t.Fatal("shard 0's replica holds no statement id after Prepare")
+	}
 	if err := (&server.Client{Base: tc.urls[0]}).CloseStmt(ctx, nodeID); err != nil {
 		t.Fatal(err)
 	}
@@ -287,45 +290,44 @@ func TestExecRepreparesExpiredNodeStatement(t *testing.T) {
 	}
 }
 
-// TestUtilizationExchange: when one node reports load, fan-outs to the
-// *other* nodes carry it in Options.Utilization — the [Rahm93] loop across
-// machines — while the loaded node itself is not double-charged.
+// setSnapshot fabricates one replica's polled stats snapshot.
+func setSnapshot(r *replica, st server.StatsResponse) {
+	r.mu.Lock()
+	r.polled = true
+	r.alive = true
+	r.stats = st
+	r.mu.Unlock()
+}
+
+// TestUtilizationExchange: when one shard reports load, fan-outs to the
+// *other* shards carry it in Options.Utilization — the [Rahm93] loop across
+// machines — while the loaded shard itself is not double-charged.
 func TestUtilizationExchange(t *testing.T) {
 	tc := newTestCluster(t, "")
-	// Fabricate a polled snapshot: node 0 is busy, the rest idle.
-	tc.coord.nodes[0].mu.Lock()
-	tc.coord.nodes[0].polled = true
-	tc.coord.nodes[0].alive = true
-	tc.coord.nodes[0].stats = server.StatsResponse{SmoothedUtilization: 0.75, Budget: testBudget}
-	tc.coord.nodes[0].mu.Unlock()
-	for _, n := range tc.coord.nodes[1:] {
-		n.mu.Lock()
-		n.polled = true
-		n.alive = true
-		n.stats = server.StatsResponse{Budget: testBudget}
-		n.mu.Unlock()
+	// Fabricate a polled snapshot: shard 0 is busy, the rest idle.
+	setSnapshot(tc.coord.shards[0].replicas[0], server.StatsResponse{SmoothedUtilization: 0.75, Budget: testBudget})
+	for _, sh := range tc.coord.shards[1:] {
+		setSnapshot(sh.replicas[0], server.StatsResponse{Budget: testBudget})
 	}
-	if got := tc.coord.remoteLoad(tc.coord.nodes[1]); got != 0.75 {
-		t.Errorf("remoteLoad(node1) = %v, want 0.75 (node0's load)", got)
+	if got := tc.coord.remoteLoad(tc.coord.shards[1]); got != 0.75 {
+		t.Errorf("remoteLoad(shard1) = %v, want 0.75 (shard0's load)", got)
 	}
-	if got := tc.coord.remoteLoad(tc.coord.nodes[0]); got != 0 {
-		t.Errorf("remoteLoad(node0) = %v, want 0 (own load excluded)", got)
+	if got := tc.coord.remoteLoad(tc.coord.shards[0]); got != 0 {
+		t.Errorf("remoteLoad(shard0) = %v, want 0 (own load excluded)", got)
 	}
-	opt := tc.coord.nodeOptions(tc.coord.nodes[1], &server.Options{Utilization: 0.2})
+	opt := tc.coord.shardOptions(tc.coord.shards[1], &server.Options{Utilization: 0.2})
 	if opt.Utilization != 0.75 {
 		t.Errorf("fan-out utilization = %v, want max(caller 0.2, remote 0.75)", opt.Utilization)
 	}
 	// The caller's own higher estimate survives the fold.
-	opt = tc.coord.nodeOptions(tc.coord.nodes[1], &server.Options{Utilization: 0.9})
+	opt = tc.coord.shardOptions(tc.coord.shards[1], &server.Options{Utilization: 0.9})
 	if opt.Utilization != 0.9 {
 		t.Errorf("fan-out utilization = %v, want caller's 0.9", opt.Utilization)
 	}
 	// ActiveThreads/Budget dominates a stale EWMA.
-	tc.coord.nodes[2].mu.Lock()
-	tc.coord.nodes[2].stats = server.StatsResponse{Budget: testBudget, ActiveThreads: testBudget}
-	tc.coord.nodes[2].mu.Unlock()
-	if got := tc.coord.remoteLoad(tc.coord.nodes[1]); got != 1 {
-		t.Errorf("remoteLoad with a saturated node = %v, want 1", got)
+	setSnapshot(tc.coord.shards[2].replicas[0], server.StatsResponse{Budget: testBudget, ActiveThreads: testBudget})
+	if got := tc.coord.remoteLoad(tc.coord.shards[1]); got != 1 {
+		t.Errorf("remoteLoad with a saturated shard = %v, want 1", got)
 	}
 }
 
@@ -355,8 +357,17 @@ func TestClusterPollAndStats(t *testing.T) {
 	if st := tc.coord.Stats(); st.Queries != 1 || st.Failures != 0 {
 		t.Errorf("queries=%d failures=%d, want 1/0", st.Queries, st.Failures)
 	}
-	if err := tc.coord.Health(ctx); err != nil {
+	report, err := tc.coord.Health(ctx)
+	if err != nil {
 		t.Errorf("Health on a live cluster: %v", err)
+	}
+	if len(report) != testShards {
+		t.Fatalf("Health reported %d replicas, want %d", len(report), testShards)
+	}
+	for _, nh := range report {
+		if !nh.Healthy || nh.Breaker != "closed" {
+			t.Errorf("replica %s: healthy=%v breaker=%s, want healthy/closed", nh.Node, nh.Healthy, nh.Breaker)
+		}
 	}
 }
 

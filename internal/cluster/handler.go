@@ -97,15 +97,18 @@ func requestOptions(r *http.Request, wire *server.Options) *server.Options {
 }
 
 // errorStatus maps a scatter error to an HTTP status: a worker's own HTTP
-// rejection keeps its code, a worker that could not be reached is a bad
-// gateway, and anything else (parse errors, argument-count mismatches,
-// unknown statement ids) is the client's request.
+// rejection keeps its code, a worker (or whole replica set) that could not
+// be reached is a bad gateway, and anything else (parse errors,
+// argument-count mismatches, unknown statement ids) is the client's
+// request.
 func errorStatus(err error) int {
 	var se *server.StatusError
 	if errors.As(err, &se) {
 		return se.Code
 	}
-	if strings.Contains(err.Error(), "cluster: node ") {
+	var ne *NodeError
+	var she *ShardError
+	if errors.As(err, &she) || errors.As(err, &ne) {
 		return http.StatusBadGateway
 	}
 	if strings.Contains(err.Error(), "no prepared statement") {

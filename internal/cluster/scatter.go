@@ -15,16 +15,18 @@ import (
 )
 
 // rowChanDepth buffers the shared fan-in channel: deep enough that a worker
-// stream keeps decoding while the consumer is busy with another node's
+// stream keeps decoding while the consumer is busy with another shard's
 // chunk, small enough that backpressure still reaches slow consumers.
 const rowChanDepth = 256
 
-// NodeFooter is one worker's contribution to a scatter-gather result.
+// NodeFooter is one shard's contribution to a scatter-gather result.
 type NodeFooter struct {
+	// Node is the replica that completed the shard's subquery — after a
+	// mid-stream failover, the sibling that finished, not the one that died.
 	Node string `json:"node"`
-	// Rows is the node's partial row count (pre-merge for aggregates).
+	// Rows is the shard's partial row count (pre-merge for aggregates).
 	Rows int64 `json:"rows"`
-	// Threads is what the node's scheduler granted the subquery.
+	// Threads is what the replica's scheduler granted the subquery.
 	Threads int `json:"threads"`
 }
 
@@ -33,16 +35,16 @@ type Footer struct {
 	// RowCount is the number of rows the coordinator delivered (post-merge
 	// for aggregates).
 	RowCount int64 `json:"rowCount"`
-	// Threads is the cluster-wide thread total: the sum of every node's
+	// Threads is the cluster-wide thread total: the sum of every shard's
 	// grant.
 	Threads int `json:"threads"`
-	// Nodes holds the per-worker footers, in fan-out order.
+	// Nodes holds the per-shard footers, in fan-out order.
 	Nodes []NodeFooter `json:"nodes"`
 }
 
 // Rows iterates a scatter-gather result with the same cursor shape as
 // server.RowStream: Next/Row/Err/Footer/Close. For plain selections and
-// joins rows stream as workers produce them (interleaved across nodes, no
+// joins rows stream as workers produce them (interleaved across shards, no
 // global order); for aggregates the coordinator has already drained and
 // merged the partials by the time Rows is returned, and iteration walks the
 // merged groups in group-key order.
@@ -56,6 +58,13 @@ type Rows struct {
 	footer *Footer
 	err    error
 	done   bool
+	// onFail is the coordinator's client-visible failure accounting, fired
+	// once if an error reaches the consumer. Transparent failovers and
+	// whole-query restarts never fire it.
+	onFail func()
+	// restart re-runs the whole scatter (RetryWholeQuery): armed only for
+	// streaming results, consumed on first use.
+	restart func() (*Rows, error)
 }
 
 // gather is the shared fan-in state of one scatter: the cancel that tears
@@ -65,7 +74,6 @@ type gather struct {
 	cancel context.CancelFunc
 	rowc   chan []any
 	closed chan struct{} // closed once every reader exited and rowc is closed
-	onFail func()        // coordinator failure accounting, fired once
 
 	mu      sync.Mutex
 	err     error
@@ -73,7 +81,7 @@ type gather struct {
 }
 
 // fail records the first stream error and cancels the siblings. Later
-// errors are dropped: once one node dies the cancellation itself makes the
+// errors are dropped: once one shard dies the cancellation itself makes the
 // other streams fail, and those secondary errors are noise.
 func (g *gather) fail(err error) {
 	g.mu.Lock()
@@ -84,9 +92,6 @@ func (g *gather) fail(err error) {
 	g.mu.Unlock()
 	if first {
 		g.cancel()
-		if g.onFail != nil {
-			g.onFail()
-		}
 	}
 }
 
@@ -96,9 +101,12 @@ func (g *gather) firstErr() error {
 	return g.err
 }
 
+// openFn opens one shard subquery on one concrete replica.
+type openFn func(ctx context.Context, rep *replica) (*server.RowStream, error)
+
 // Query scatter-gathers one ad-hoc statement: it derives the merge shape
 // once (the coordinator-side compile), fans the unchanged SQL out to every
-// node with the remote-load-adjusted options, and merges the streams.
+// shard with the remote-load-adjusted options, and merges the streams.
 func (c *Coordinator) Query(ctx context.Context, sql string, args []any, opt *server.Options) (*Rows, error) {
 	spec, err := esql.ScatterPlan(sql)
 	if err != nil {
@@ -107,41 +115,127 @@ func (c *Coordinator) Query(ctx context.Context, sql string, args []any, opt *se
 	if len(args) != spec.Params {
 		return nil, fmt.Errorf("cluster: statement has %d parameters, got %d arguments", spec.Params, len(args))
 	}
-	return c.scatter(ctx, spec, func(ctx context.Context, _ int, n *node) (*server.RowStream, error) {
-		return n.client.Query(ctx, sql, args, c.nodeOptions(n, opt))
+	return c.scatter(ctx, spec, func(ctx context.Context, rep *replica) (*server.RowStream, error) {
+		return rep.client.Query(ctx, sql, args, c.shardOptions(c.shards[rep.shard], opt))
 	})
 }
 
-// scatter opens one stream per node through open, waits for every header,
-// and wires up the merge. Any open failure tears the whole fan-out down and
-// surfaces one error naming the node.
-func (c *Coordinator) scatter(ctx context.Context, spec *esql.ScatterSpec, open func(ctx context.Context, i int, n *node) (*server.RowStream, error)) (*Rows, error) {
+// scatter wraps runScatter with the coordinator-level retry: when
+// RetryWholeQuery is set, a replica fault that escapes per-subquery
+// failover (a death after rows merged) restarts the query once — here for
+// errors surfacing before Rows is returned (open phase, aggregate merge),
+// via Rows.restart for errors surfacing mid-iteration. Client-visible
+// failures are counted at the edges only, so transparent recoveries never
+// inflate the counter.
+func (c *Coordinator) scatter(ctx context.Context, spec *esql.ScatterSpec, open openFn) (*Rows, error) {
 	c.queries.Add(1)
+	rows, err := c.runScatter(ctx, spec, open)
+	if err != nil && c.retryWhole && replicaFault(err) && ctx.Err() == nil {
+		c.wholeQueryRetries.Add(1)
+		rows, err = c.runScatter(ctx, spec, open)
+	}
+	if err != nil {
+		c.failures.Add(1)
+		return nil, err
+	}
+	rows.onFail = func() { c.failures.Add(1) }
+	if rows.stream && c.retryWhole {
+		rows.restart = func() (*Rows, error) {
+			c.wholeQueryRetries.Add(1)
+			return c.runScatter(ctx, spec, open)
+		}
+	}
+	return rows, nil
+}
+
+// subquery is one shard's live stream and the replica currently serving it.
+type subquery struct {
+	sh  *shard
+	rep *replica
+	st  *server.RowStream
+}
+
+// openOnShard establishes a shard's subquery on the first replica (in
+// placement-preference order, minus exclude) that accepts it. Replica
+// faults move on to the next candidate and feed the breaker; a non-fault
+// error (bad SQL, cancellation) returns immediately — it would fail
+// identically everywhere. want, when non-nil, is the cluster result shape a
+// failover replacement stream must match. failedOver reports that at least
+// one candidate was skipped over a fault before one succeeded.
+func (c *Coordinator) openOnShard(ctx context.Context, sh *shard, exclude *replica, want *server.Header, open openFn) (sub *subquery, failedOver bool, err error) {
+	var lastErr error
+	tried := 0
+	for _, rep := range sh.candidates() {
+		if rep == exclude {
+			continue
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		st, err := open(ctx, rep)
+		if err != nil {
+			ne := &NodeError{Node: rep.name, Err: err}
+			if !replicaFault(err) {
+				return nil, false, ne
+			}
+			rep.brk.failure()
+			lastErr = ne
+			tried++
+			continue
+		}
+		if want != nil {
+			h := st.Header()
+			if !equalStrings(h.Columns, want.Columns) || !equalStrings(h.Types, want.Types) {
+				st.Close()
+				return nil, false, &NodeError{Node: rep.name,
+					Err: fmt.Errorf("failover result shape %v %v disagrees with the cluster header %v %v (diverged catalogs?)",
+						h.Columns, h.Types, want.Columns, want.Types)}
+			}
+		}
+		rep.brk.success()
+		return &subquery{sh: sh, rep: rep, st: st}, tried > 0, nil
+	}
+	if lastErr == nil {
+		lastErr = ctx.Err()
+		if lastErr == nil {
+			lastErr = fmt.Errorf("no replica available")
+		}
+	}
+	return nil, false, &ShardError{Shard: sh.index, Replicas: tried, Err: lastErr}
+}
+
+// runScatter opens one subquery per shard, waits for every header, and
+// wires up the merge. Any open-phase failure (after per-shard failover is
+// exhausted) tears the whole fan-out down and surfaces one error naming the
+// shard and its last replica.
+func (c *Coordinator) runScatter(ctx context.Context, spec *esql.ScatterSpec, open openFn) (*Rows, error) {
 	fanCtx, cancel := context.WithCancel(ctx)
-	streams := make([]*server.RowStream, len(c.nodes))
-	errs := make([]error, len(c.nodes))
+	subs := make([]*subquery, len(c.shards))
+	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
-	for i, n := range c.nodes {
+	for i, sh := range c.shards {
 		wg.Add(1)
-		go func(i int, n *node) {
+		go func(i int, sh *shard) {
 			defer wg.Done()
-			st, err := open(fanCtx, i, n)
+			sub, failedOver, err := c.openOnShard(fanCtx, sh, nil, nil, open)
 			if err != nil {
-				errs[i] = fmt.Errorf("cluster: node %s: %w", n.name, err)
+				errs[i] = err
 				return
 			}
-			streams[i] = st
-		}(i, n)
+			if failedOver {
+				c.failovers.Add(1)
+			}
+			subs[i] = sub
+		}(i, sh)
 	}
 	wg.Wait()
 	abort := func(err error) (*Rows, error) {
 		cancel()
-		for _, st := range streams {
-			if st != nil {
-				st.Close()
+		for _, sub := range subs {
+			if sub != nil {
+				sub.st.Close()
 			}
 		}
-		c.failures.Add(1)
 		return nil, err
 	}
 	for _, err := range errs {
@@ -149,20 +243,20 @@ func (c *Coordinator) scatter(ctx context.Context, spec *esql.ScatterSpec, open 
 			return abort(err)
 		}
 	}
-	// Header barrier: every node granted the subquery and declared its
+	// Header barrier: every shard granted the subquery and declared its
 	// result shape; the shapes must agree or the catalogs have diverged.
-	head := streams[0].Header()
+	head := subs[0].st.Header()
 	cluster := &server.Header{
 		Columns:     head.Columns,
 		Types:       head.Types,
 		Threads:     0,
 		Utilization: 0,
 	}
-	for i, st := range streams {
-		h := st.Header()
+	for _, sub := range subs {
+		h := sub.st.Header()
 		if !equalStrings(h.Columns, head.Columns) || !equalStrings(h.Types, head.Types) {
 			return abort(fmt.Errorf("cluster: node %s result shape %v %v disagrees with node %s %v %v (diverged catalogs?)",
-				c.nodes[i].name, h.Columns, h.Types, c.nodes[0].name, head.Columns, head.Types))
+				sub.rep.name, h.Columns, h.Types, subs[0].rep.name, head.Columns, head.Types))
 		}
 		cluster.Threads += h.Threads
 		if h.Utilization > cluster.Utilization {
@@ -174,32 +268,15 @@ func (c *Coordinator) scatter(ctx context.Context, spec *esql.ScatterSpec, open 
 		cancel:  cancel,
 		rowc:    make(chan []any, rowChanDepth),
 		closed:  make(chan struct{}),
-		onFail:  func() { c.failures.Add(1) },
-		footers: make([]NodeFooter, len(c.nodes)),
+		footers: make([]NodeFooter, len(c.shards)),
 	}
 	var readers sync.WaitGroup
-	for i, st := range streams {
+	for i, sub := range subs {
 		readers.Add(1)
-		go func(i int, name string, st *server.RowStream) {
+		go func(i int, sub *subquery) {
 			defer readers.Done()
-			defer st.Close()
-			for st.Next() {
-				select {
-				case g.rowc <- st.Row():
-				case <-fanCtx.Done():
-					return
-				}
-			}
-			if err := st.Err(); err != nil {
-				g.fail(fmt.Errorf("cluster: node %s: %w", name, err))
-				return
-			}
-			if f := st.Footer(); f != nil {
-				g.mu.Lock()
-				g.footers[i] = NodeFooter{Node: name, Rows: f.RowCount, Threads: f.Threads}
-				g.mu.Unlock()
-			}
-		}(i, c.nodes[i].name, st)
+			c.readSubquery(fanCtx, g, i, sub, cluster, open)
+		}(i, sub)
 	}
 	go func() {
 		readers.Wait()
@@ -219,15 +296,63 @@ func (c *Coordinator) scatter(ctx context.Context, spec *esql.ScatterSpec, open 
 	if err != nil {
 		cancel()
 		<-g.closed
-		if g.firstErr() == nil {
-			// A coordinator-side merge error; node failures were already
-			// counted by onFail.
-			c.failures.Add(1)
-		}
 		return nil, err
 	}
 	rows.buf = merged
 	return rows, nil
+}
+
+// readSubquery pumps one shard's stream into the fan-in channel. A replica
+// fault before this subquery merged any row is retried transparently on a
+// sibling replica — the replacement stream re-produces the shard's rows
+// from scratch, which is exactly once from the merge's point of view since
+// nothing of this shard entered the channel yet. A fault after rows merged
+// cannot be retried shard-locally (the channel already carries a partial
+// shard) and fails the gather; scatter-level RetryWholeQuery may still
+// restart the query.
+func (c *Coordinator) readSubquery(ctx context.Context, g *gather, i int, sub *subquery, want *server.Header, open openFn) {
+	st, rep := sub.st, sub.rep
+	var merged int64
+	for {
+		for st.Next() {
+			select {
+			case g.rowc <- st.Row():
+				merged++
+			case <-ctx.Done():
+				st.Close()
+				return
+			}
+		}
+		err := st.Err()
+		if err == nil {
+			rep.brk.success()
+			if f := st.Footer(); f != nil {
+				g.mu.Lock()
+				g.footers[i] = NodeFooter{Node: rep.name, Rows: f.RowCount, Threads: f.Threads}
+				g.mu.Unlock()
+			}
+			st.Close()
+			return
+		}
+		st.Close()
+		if ctx.Err() != nil {
+			// A sibling failed first or the consumer closed; our cancellation
+			// fallout is noise.
+			return
+		}
+		if !replicaFault(err) || merged > 0 {
+			g.fail(&NodeError{Node: rep.name, Err: err})
+			return
+		}
+		rep.brk.failure()
+		nsub, _, oerr := c.openOnShard(ctx, sub.sh, rep, want, open)
+		if oerr != nil {
+			g.fail(oerr)
+			return
+		}
+		c.failovers.Add(1)
+		st, rep = nsub.st, nsub.rep
+	}
 }
 
 // mergeGroups drains the fan-in channel into a group table keyed by the
@@ -362,37 +487,65 @@ func equalStrings(a, b []string) bool {
 }
 
 // Header returns the cluster-level stream header: the (validated-identical)
-// result shape, the sum of the nodes' thread grants, and the maximum
-// utilization any node reported.
+// result shape, the sum of the shards' thread grants, and the maximum
+// utilization any shard reported.
 func (r *Rows) Header() *server.Header { return r.header }
 
 // Next advances the cursor. For streaming results it blocks on the fan-in
 // channel; for merged aggregates it walks the buffer.
 func (r *Rows) Next() bool {
-	if r.done {
-		return false
-	}
-	if r.stream {
-		row, ok := <-r.g.rowc
-		if !ok {
-			if err := r.g.firstErr(); err != nil {
-				r.fail(err)
-			} else {
-				r.complete()
-			}
+	for {
+		if r.done {
 			return false
 		}
-		r.cur = row
-		r.count++
-		return true
+		if !r.stream {
+			if len(r.buf) == 0 {
+				r.complete()
+				return false
+			}
+			r.cur = r.buf[0]
+			r.buf = r.buf[1:]
+			r.count++
+			return true
+		}
+		row, ok := <-r.g.rowc
+		if ok {
+			r.cur = row
+			r.count++
+			return true
+		}
+		err := r.g.firstErr()
+		if err == nil {
+			r.complete()
+			return false
+		}
+		if !r.tryRestart(err) {
+			return false
+		}
+		// Restarted: loop and pull from the fresh gather.
 	}
-	if len(r.buf) == 0 {
-		r.complete()
+}
+
+// tryRestart is the RetryWholeQuery path for a failure that escaped
+// per-subquery failover: if nothing was delivered to the consumer yet, the
+// whole scatter re-runs once and iteration resumes transparently. Returns
+// false after recording the (original or restart) error on the cursor.
+func (r *Rows) tryRestart(err error) bool {
+	if r.restart == nil || r.count != 0 || !replicaFault(err) {
+		r.fail(err)
 		return false
 	}
-	r.cur = r.buf[0]
-	r.buf = r.buf[1:]
-	r.count++
+	restart := r.restart
+	r.restart = nil
+	onFail := r.onFail
+	r.g.cancel() // release the dead gather's fan-out context
+	nr, rerr := restart()
+	if rerr != nil {
+		r.fail(rerr)
+		return false
+	}
+	*r = *nr
+	r.onFail = onFail
 	return true
 }
 
@@ -407,10 +560,14 @@ func (r *Rows) Footer() *Footer { return r.footer }
 
 func (r *Rows) fail(err error) {
 	r.err = err
+	if r.onFail != nil {
+		r.onFail()
+		r.onFail = nil
+	}
 	r.finish()
 }
 
-// complete builds the cluster footer from the per-node footers.
+// complete builds the cluster footer from the per-shard footers.
 func (r *Rows) complete() {
 	f := &Footer{RowCount: r.count}
 	r.g.mu.Lock()

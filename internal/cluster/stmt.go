@@ -12,34 +12,40 @@ import (
 
 // coordStmt is one coordinator-side prepared statement: the original SQL
 // (kept for re-preparing), the merge shape compiled once at prepare time,
-// the result metadata, and each node's server-side statement id.
+// the result metadata, and each replica's server-side statement id. A
+// replica missing from ids (down at prepare time, or it expired its half)
+// is re-prepared lazily the first time a subquery lands on it.
 type coordStmt struct {
 	sql  string
 	spec *esql.ScatterSpec
 	info server.PrepareResponse // coordinator-facing metadata (coord id)
 
 	mu  sync.Mutex
-	ids []string // per node, same order as Coordinator.nodes
+	ids map[*replica]string
 }
 
-// nodeID returns node i's server-side statement id under the lock.
-func (s *coordStmt) nodeID(i int) string {
+// id returns a replica's server-side statement id, if it holds one.
+func (s *coordStmt) id(r *replica) (string, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.ids[i]
+	id, ok := s.ids[r]
+	return id, ok
 }
 
-func (s *coordStmt) setNodeID(i int, id string) {
+func (s *coordStmt) setID(r *replica, id string) {
 	s.mu.Lock()
-	s.ids[i] = id
+	s.ids[r] = id
 	s.mu.Unlock()
 }
 
 // Prepare compiles a statement once cluster-wide: the coordinator derives
-// the merge shape, prepares the statement on every node in parallel, and
-// registers the bundle under one coordinator id. Executions then skip both
-// the coordinator-side parse and the workers' parse/compile (their plan
-// caches hold the compiled plan against each node's shard).
+// the merge shape, prepares the statement on every replica of every shard
+// in parallel, and registers the bundle under one coordinator id.
+// Executions then skip both the coordinator-side parse and the workers'
+// parse/compile (their plan caches hold the compiled plan against each
+// shard). A replica that is down may miss the prepare — tolerated as long
+// as at least one replica per shard holds the statement; the missing half
+// is re-prepared lazily if a subquery ever fails over onto it.
 func (c *Coordinator) Prepare(ctx context.Context, sql string, opt *server.Options) (*server.PrepareResponse, error) {
 	spec, err := esql.ScatterPlan(sql)
 	if err != nil {
@@ -52,34 +58,72 @@ func (c *Coordinator) Prepare(ctx context.Context, sql string, opt *server.Optio
 	}
 	c.mu.Unlock()
 
-	stmt := &coordStmt{sql: sql, spec: spec, ids: make([]string, len(c.nodes))}
-	prs := make([]*server.PrepareResponse, len(c.nodes))
-	errs := make([]error, len(c.nodes))
+	stmt := &coordStmt{sql: sql, spec: spec, ids: make(map[*replica]string)}
+	var reps []*replica
+	c.replicas(func(r *replica) { reps = append(reps, r) })
+	prs := make([]*server.PrepareResponse, len(reps))
+	errs := make([]error, len(reps))
 	var wg sync.WaitGroup
-	for i, n := range c.nodes {
+	for i, r := range reps {
 		wg.Add(1)
-		go func(i int, n *node) {
+		go func(i int, r *replica) {
 			defer wg.Done()
-			pr, err := n.client.Prepare(ctx, sql, c.nodeOptions(n, opt))
+			pr, err := r.client.Prepare(ctx, sql, c.shardOptions(c.shards[r.shard], opt))
 			if err != nil {
-				errs[i] = fmt.Errorf("cluster: node %s: %w", n.name, err)
+				errs[i] = &NodeError{Node: r.name, Err: err}
 				return
 			}
 			prs[i] = pr
-			stmt.setNodeID(i, pr.ID)
-		}(i, n)
+			stmt.setID(r, pr.ID)
+		}(i, r)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			// Best-effort cleanup of the nodes that did prepare.
-			for i, pr := range prs {
-				if pr != nil {
-					_ = c.nodes[i].client.CloseStmt(ctx, pr.ID)
-				}
+
+	cleanup := func() {
+		// Best-effort cleanup of the replicas that did prepare.
+		for i, pr := range prs {
+			if pr != nil {
+				_ = reps[i].client.CloseStmt(ctx, pr.ID)
 			}
+		}
+	}
+	// A non-fault failure (the statement itself is bad) fails the prepare
+	// outright — every replica would reject it the same way.
+	var first *server.PrepareResponse
+	for i, err := range errs {
+		if err == nil {
+			if first == nil {
+				first = prs[i]
+			}
+			continue
+		}
+		if !replicaFault(err) {
+			cleanup()
 			c.failures.Add(1)
 			return nil, err
+		}
+	}
+	// Replica faults are tolerated per shard as long as one replica holds
+	// the statement.
+	for _, sh := range c.shards {
+		prepared := false
+		var shardErr error
+		replicasTried := 0
+		for i, r := range reps {
+			if r.shard != sh.index {
+				continue
+			}
+			if errs[i] == nil {
+				prepared = true
+			} else {
+				shardErr = errs[i]
+				replicasTried++
+			}
+		}
+		if !prepared {
+			cleanup()
+			c.failures.Add(1)
+			return nil, &ShardError{Shard: sh.index, Replicas: replicasTried, Err: shardErr}
 		}
 	}
 
@@ -87,8 +131,8 @@ func (c *Coordinator) Prepare(ctx context.Context, sql string, opt *server.Optio
 	stmt.info = server.PrepareResponse{
 		ID:      id,
 		SQL:     sql,
-		Columns: prs[0].Columns,
-		Types:   prs[0].Types,
+		Columns: first.Columns,
+		Types:   first.Types,
 		Params:  spec.Params,
 	}
 	c.mu.Lock()
@@ -110,10 +154,12 @@ func (c *Coordinator) Stmt(id string) (*server.PrepareResponse, bool) {
 	return &out, true
 }
 
-// Exec scatter-gathers one execution of a prepared statement. A node whose
-// server-side statement vanished (expired by its idle-TTL sweep, or the
-// node restarted) is transparently re-prepared once and retried; a second
-// miss fails the execution.
+// Exec scatter-gathers one execution of a prepared statement. A replica
+// whose server-side statement vanished (expired by its idle-TTL sweep, a
+// restart, or it was down at prepare time and a failover just landed on
+// it) is transparently re-prepared once and retried; a second miss fails
+// that replica's attempt, at which point the ordinary failover machinery
+// tries a sibling.
 func (c *Coordinator) Exec(ctx context.Context, id string, args []any, opt *server.Options) (*Rows, error) {
 	c.mu.Lock()
 	stmt, ok := c.stmts[id]
@@ -124,25 +170,29 @@ func (c *Coordinator) Exec(ctx context.Context, id string, args []any, opt *serv
 	if len(args) != stmt.spec.Params {
 		return nil, fmt.Errorf("cluster: statement %s has %d parameters, got %d arguments", id, stmt.spec.Params, len(args))
 	}
-	return c.scatter(ctx, stmt.spec, func(ctx context.Context, i int, n *node) (*server.RowStream, error) {
-		st, err := n.client.Exec(ctx, stmt.nodeID(i), args, c.nodeOptions(n, opt))
-		if err == nil || !errIsStmtGone(err) {
-			return st, err
+	return c.scatter(ctx, stmt.spec, func(ctx context.Context, rep *replica) (*server.RowStream, error) {
+		opts := c.shardOptions(c.shards[rep.shard], opt)
+		if nodeID, ok := stmt.id(rep); ok {
+			st, err := rep.client.Exec(ctx, nodeID, args, opts)
+			if err == nil || !errIsStmtGone(err) {
+				return st, err
+			}
 		}
-		// The worker forgot the statement; re-prepare and retry once.
-		pr, perr := n.client.Prepare(ctx, stmt.sql, nil)
+		// The replica holds no (live) half of the statement; re-prepare it
+		// there and retry once.
+		pr, perr := rep.client.Prepare(ctx, stmt.sql, nil)
 		if perr != nil {
 			return nil, fmt.Errorf("re-preparing expired statement: %w", perr)
 		}
-		stmt.setNodeID(i, pr.ID)
+		stmt.setID(rep, pr.ID)
 		c.repreparations.Add(1)
-		return n.client.Exec(ctx, pr.ID, args, c.nodeOptions(n, opt))
+		return rep.client.Exec(ctx, pr.ID, args, opts)
 	})
 }
 
 // CloseStmt discards a coordinator-side prepared statement and best-effort
-// closes each node's half (a node that already expired it returns 404,
-// which is the desired end state anyway).
+// closes each replica's half (a replica that already expired it returns
+// 404, which is the desired end state anyway).
 func (c *Coordinator) CloseStmt(ctx context.Context, id string) error {
 	c.mu.Lock()
 	stmt, ok := c.stmts[id]
@@ -153,13 +203,19 @@ func (c *Coordinator) CloseStmt(ctx context.Context, id string) error {
 	if !ok {
 		return fmt.Errorf("cluster: no prepared statement %q", id)
 	}
+	stmt.mu.Lock()
+	ids := make(map[*replica]string, len(stmt.ids))
+	for r, nodeID := range stmt.ids {
+		ids[r] = nodeID
+	}
+	stmt.mu.Unlock()
 	var wg sync.WaitGroup
-	for i, n := range c.nodes {
+	for r, nodeID := range ids {
 		wg.Add(1)
-		go func(i int, n *node) {
+		go func(r *replica, nodeID string) {
 			defer wg.Done()
-			_ = n.client.CloseStmt(ctx, stmt.nodeID(i))
-		}(i, n)
+			_ = r.client.CloseStmt(ctx, nodeID)
+		}(r, nodeID)
 	}
 	wg.Wait()
 	return nil

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"strings"
@@ -19,6 +20,12 @@ import (
 // real chance to bind its listener, short enough that a coordinator fan-out
 // barely notices a retried connect.
 const defaultRetryBackoff = 50 * time.Millisecond
+
+// defaultBackoffBudget caps the cumulative backoff slept across one
+// request's retries when the client sets no BackoffBudget: a fan-out should
+// give up on a worker that stayed unreachable for this long rather than
+// keep a query pinned behind an ever-growing ladder.
+const defaultBackoffBudget = 2 * time.Second
 
 // Client is a minimal Go client for the wire protocol — the reference
 // consumer the end-to-end tests, the cluster coordinator and the serve
@@ -49,9 +56,22 @@ type Client struct {
 	// e.g. fanning out to a worker that is still starting). Retries are
 	// safe there because the server never saw the request. 0 disables.
 	Retries int
-	// RetryBackoff is the sleep before the first retry, doubling per
-	// attempt (0 = 50ms).
+	// RetryBackoff is the base of the retry backoff ladder (0 = 50ms).
+	// Retry i sleeps a full-jitter backoff: uniform in [0, RetryBackoff<<i),
+	// so a fleet of clients that all lost the same worker spreads its
+	// reconnects out instead of thundering-herding the restart in lockstep.
 	RetryBackoff time.Duration
+	// BackoffBudget caps the cumulative backoff slept across one request's
+	// retries (0 = 2s). Every sleep is clamped to the remaining budget, and
+	// once the budget is spent the remaining Retries are forfeited — the
+	// total stall a dead worker can inflict per request is bounded no
+	// matter how high Retries is set.
+	BackoffBudget time.Duration
+
+	// sleep and jitter are test seams: sleep replaces the context-aware
+	// backoff wait, jitter the uniform draw in [0, 1). Nil means real.
+	sleep  func(ctx context.Context, d time.Duration) error
+	jitter func() float64
 }
 
 func (c *Client) http() *http.Client {
@@ -74,28 +94,65 @@ func transientConnect(err error) bool {
 }
 
 // do sends one request with auth, the header-phase timeout, and bounded
-// retry-with-backoff on transient connect errors. The returned cancel
-// releases the request's context and MUST be called once the response is
-// consumed (RowStream.finish does it for streamed bodies).
+// retry-with-full-jitter-backoff on transient connect errors. The returned
+// cancel releases the request's context and MUST be called once the
+// response is consumed (RowStream.finish does it for streamed bodies).
 func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, context.CancelFunc, error) {
-	backoff := c.RetryBackoff
-	if backoff <= 0 {
-		backoff = defaultRetryBackoff
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = defaultRetryBackoff
+	}
+	budget := c.BackoffBudget
+	if budget <= 0 {
+		budget = defaultBackoffBudget
 	}
 	for attempt := 0; ; attempt++ {
 		resp, cancel, err := c.attempt(ctx, method, path, body)
 		if err == nil {
 			return resp, cancel, nil
 		}
-		if attempt >= c.Retries || !transientConnect(err) || ctx.Err() != nil {
+		if attempt >= c.Retries || budget <= 0 || !transientConnect(err) || ctx.Err() != nil {
 			return nil, nil, err
 		}
-		select {
-		case <-time.After(backoff):
-		case <-ctx.Done():
-			return nil, nil, ctx.Err()
+		// Full jitter over the doubling envelope, clamped to what is left
+		// of the budget: envelope_i = min(base<<i, remaining budget),
+		// sleep_i uniform in [0, envelope_i).
+		envelope := budget
+		if attempt < 20 { // beyond 2^20 the shift alone exceeds any sane budget
+			if e := base << attempt; e < envelope {
+				envelope = e
+			}
 		}
-		backoff *= 2
+		d := time.Duration(c.rand01() * float64(envelope))
+		if err := c.backoffSleep(ctx, d); err != nil {
+			return nil, nil, err
+		}
+		budget -= d
+	}
+}
+
+// rand01 draws the backoff jitter in [0, 1).
+func (c *Client) rand01() float64 {
+	if c.jitter != nil {
+		return c.jitter()
+	}
+	return rand.Float64()
+}
+
+// backoffSleep waits out one backoff step, aborting early if the request's
+// context dies.
+func (c *Client) backoffSleep(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	if d <= 0 {
+		return nil
+	}
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -111,7 +168,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	fail := func(err error) (*http.Response, context.CancelFunc, error) {
 		cancel()
 		if timer != nil && !timer.Stop() && ctx.Err() == nil {
-			err = fmt.Errorf("server: no response header within %v: %w", c.Timeout, err)
+			err = &TimeoutError{Limit: c.Timeout, Err: err}
 		}
 		return nil, nil, err
 	}
@@ -140,10 +197,34 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 		// The timer fired between response arrival and here; the body is
 		// already doomed, so surface the timeout instead of a mid-read error.
 		resp.Body.Close()
-		return fail(fmt.Errorf("server: response header raced the %v timeout", c.Timeout))
+		return fail(errors.New("response header raced the timeout"))
 	}
 	return resp, cancel, nil
 }
+
+// TimeoutError reports a request whose connect-and-respond phase overran
+// Client.Timeout: the server was reachable enough to dial (or the dial
+// itself stalled past the limit) but no response header arrived in time. It
+// is a distinct type from dial-phase connect errors and from *StatusError
+// so callers — the cluster coordinator's per-node circuit breaker in
+// particular — can classify wedged workers without string matching.
+type TimeoutError struct {
+	// Limit is the Client.Timeout that expired.
+	Limit time.Duration
+	// Err is the transport error observed when the timeout cancelled the
+	// request.
+	Err error
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("server: no response header within %v: %v", e.Limit, e.Err)
+}
+
+// Unwrap exposes the underlying transport error.
+func (e *TimeoutError) Unwrap() error { return e.Err }
+
+// Timeout marks the error as a timeout for net.Error-style checks.
+func (e *TimeoutError) Timeout() bool { return true }
 
 // post sends a JSON body and returns the raw response plus its context
 // release.

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// deadAddr returns an address with no listener: every dial fails with a
+// transient connect error, driving the full retry ladder.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// retryClient builds a client against a dead address with a fake sleeper
+// recording the backoff schedule and a deterministic jitter draw.
+func retryClient(t *testing.T, retries int, base, budget time.Duration, jitter float64, sleeps *[]time.Duration) *Client {
+	t.Helper()
+	return &Client{
+		Base:          "http://" + deadAddr(t),
+		Retries:       retries,
+		RetryBackoff:  base,
+		BackoffBudget: budget,
+		sleep: func(_ context.Context, d time.Duration) error {
+			*sleeps = append(*sleeps, d)
+			return nil
+		},
+		jitter: func() float64 { return jitter },
+	}
+}
+
+// TestRetryBackoffDoublingEnvelope: with the jitter draw pinned at 1.0 the
+// schedule is exactly the doubling envelope — base, 2×, 4×, 8× — one sleep
+// per retry.
+func TestRetryBackoffDoublingEnvelope(t *testing.T) {
+	var sleeps []time.Duration
+	c := retryClient(t, 4, 10*time.Millisecond, time.Hour, 1.0, &sleeps)
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("health against a dead address succeeded")
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 80 * time.Millisecond}
+	if len(sleeps) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d", len(sleeps), sleeps, len(want))
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Errorf("retry %d slept %v, want envelope %v", i, sleeps[i], want[i])
+		}
+	}
+}
+
+// TestRetryBackoffFullJitter: the jitter draw scales every sleep inside the
+// envelope — two clients with different draws never sleep in lockstep,
+// which is the whole thundering-herd point.
+func TestRetryBackoffFullJitter(t *testing.T) {
+	var half, tenth []time.Duration
+	ch := retryClient(t, 3, 10*time.Millisecond, time.Hour, 0.5, &half)
+	ct := retryClient(t, 3, 10*time.Millisecond, time.Hour, 0.1, &tenth)
+	ch.Health(context.Background())
+	ct.Health(context.Background())
+	wantHalf := []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}
+	wantTenth := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	for i := range wantHalf {
+		if half[i] != wantHalf[i] {
+			t.Errorf("jitter 0.5 retry %d slept %v, want %v", i, half[i], wantHalf[i])
+		}
+		if tenth[i] != wantTenth[i] {
+			t.Errorf("jitter 0.1 retry %d slept %v, want %v", i, tenth[i], wantTenth[i])
+		}
+	}
+}
+
+// TestRetryBackoffBudgetCapsTotal: each sleep is clamped to the remaining
+// budget and retries stop once it is spent, even with Retries to spare.
+func TestRetryBackoffBudgetCapsTotal(t *testing.T) {
+	var sleeps []time.Duration
+	c := retryClient(t, 100, 10*time.Millisecond, 25*time.Millisecond, 1.0, &sleeps)
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("health against a dead address succeeded")
+	}
+	// Envelope 10ms, then min(20ms, remaining 15ms) = 15ms; budget now 0,
+	// so the remaining 98 retries are forfeited.
+	want := []time.Duration{10 * time.Millisecond, 15 * time.Millisecond}
+	if len(sleeps) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d — budget did not cap the ladder", len(sleeps), sleeps, len(want))
+	}
+	var total time.Duration
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Errorf("retry %d slept %v, want %v", i, sleeps[i], want[i])
+		}
+		total += sleeps[i]
+	}
+	if total > 25*time.Millisecond {
+		t.Errorf("total backoff %v exceeds the 25ms budget", total)
+	}
+}
+
+// TestRetryBackoffCancelAborts: a context cancelled during the backoff
+// sleep abandons the ladder immediately.
+func TestRetryBackoffCancelAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var sleeps []time.Duration
+	c := retryClient(t, 10, 10*time.Millisecond, time.Hour, 1.0, &sleeps)
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		sleeps = append(sleeps, d)
+		cancel()
+		return ctx.Err()
+	}
+	err := c.Health(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled mid-backoff, got %v", err)
+	}
+	if len(sleeps) != 1 {
+		t.Errorf("slept %d times after cancellation, want 1", len(sleeps))
+	}
+}
+
+// TestRetryBackoffDefaultJitterInEnvelope: without seams, real sleeps stay
+// within the envelope (smoke for the production rand path — the dead dial
+// itself is fast, so tiny real sleeps keep this test quick).
+func TestRetryBackoffDefaultJitterInEnvelope(t *testing.T) {
+	c := &Client{Base: "http://" + deadAddr(t), Retries: 2, RetryBackoff: time.Millisecond}
+	start := time.Now()
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("health against a dead address succeeded")
+	}
+	// Envelope total = 1ms + 2ms; generous slack for scheduler noise.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("2 jittered retries took %v", elapsed)
+	}
+}
+
+// TestHeaderTimeoutIsTyped: a header-phase timeout surfaces as
+// *TimeoutError — the classification the cluster breaker counts — while a
+// plain connect error does not.
+func TestHeaderTimeoutIsTyped(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold open, never respond
+		}
+	}()
+	c := &Client{Base: "http://" + l.Addr().String(), Timeout: 50 * time.Millisecond}
+	err = c.Health(context.Background())
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("black-hole server produced %T (%v), want *TimeoutError", err, err)
+	}
+	if te.Limit != 50*time.Millisecond || !te.Timeout() {
+		t.Errorf("TimeoutError limit=%v timeout=%v, want 50ms/true", te.Limit, te.Timeout())
+	}
+
+	// A refused connection is a connect error, not a timeout.
+	dead := &Client{Base: "http://" + deadAddr(t), Timeout: time.Second}
+	err = dead.Health(context.Background())
+	if err == nil {
+		t.Fatal("health against a dead address succeeded")
+	}
+	if errors.As(err, &te) {
+		t.Errorf("connect error classified as TimeoutError: %v", err)
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		t.Errorf("connect error classified as StatusError: %v", err)
+	}
+}

@@ -96,4 +96,66 @@ for i in 0 1 2; do
   done
 done
 
-echo "cluster smoke OK"
+# --- Replica failover: a 2-shard x 2-replica cluster keeps answering while
+# one replica is killed mid-run. The kill must show up as transparent
+# failovers and an opened breaker on /stats, never as a client-visible
+# failure. Polling is off so the breaker opens purely from query traffic.
+COORD2=127.0.0.1:18091
+WISC2=3000
+rnodes=""
+rpids=()
+for i in 0 1; do
+  pair=""
+  for r in 0 1; do
+    addr="127.0.0.1:1808$((4 + 2*i + r))"
+    "$workdir/dbs3" serve -addr "$addr" -token "$TOKEN" \
+      -shards 2 -shard "$i" -wisc "$WISC2" -acard 1000 -bcard 1000 -degree 8 -budget 4 &
+    pids+=($!)
+    rpids+=($!)
+    pair="$pair${pair:+|}http://$addr"
+  done
+  rnodes="$rnodes${rnodes:+,}$pair"
+done
+for p in 4 5 6 7; do
+  for _ in $(seq 1 50); do
+    curl -fsS -H "$AUTH" "http://127.0.0.1:1808$p/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  curl -fsS -H "$AUTH" "http://127.0.0.1:1808$p/healthz" >/dev/null
+done
+
+"$workdir/dbs3" coord -addr "$COORD2" -nodes "$rnodes" -token "$TOKEN" \
+  -poll -1s -retries -1 -retry-whole-query &
+pids+=($!)
+for _ in $(seq 1 50); do
+  curl -fsS -H "$AUTH" "http://$COORD2/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS -H "$AUTH" "http://$COORD2/healthz" >/dev/null
+
+# A healthy replicated run first…
+out=$(curl -fsS -H "$AUTH" -X POST "http://$COORD2/query" \
+  -d '{"sql":"SELECT unique2 FROM wisc WHERE unique1 < ?","args":[25]}')
+echo "$out" | grep -q '"rowCount":25,' || { echo "replicated cluster bad result: $out"; exit 1; }
+
+# …then kill shard 0's second replica and keep querying. Placement rotates
+# between equally loaded siblings, so several of these land on the dead
+# replica first and must fail over to its surviving sibling transparently.
+kill "${rpids[1]}"
+wait "${rpids[1]}" 2>/dev/null || true
+for _ in $(seq 1 8); do
+  out=$(curl -fsS -H "$AUTH" -X POST "http://$COORD2/query" \
+    -d '{"sql":"SELECT unique2 FROM wisc WHERE unique1 < ?","args":[25]}')
+  echo "$out" | grep -q '"rowCount":25,' || { echo "query failed after replica kill: $out"; exit 1; }
+done
+
+# The ledger: transparent failovers happened, the dead replica's breaker
+# opened from its consecutive query-path failures, and no client ever saw
+# an error.
+fstats=$(curl -fsS -H "$AUTH" "http://$COORD2/stats")
+echo "$fstats" | grep -q '"failures":0' || { echo "replica kill surfaced failures: $fstats"; exit 1; }
+echo "$fstats" | grep -q '"breaker":"open"' || { echo "dead replica breaker never opened: $fstats"; exit 1; }
+failovers=$(echo "$fstats" | sed -n 's/.*"failovers":\([0-9]*\).*/\1/p')
+[ "${failovers:-0}" -ge 1 ] || { echo "no failovers recorded after replica kill: $fstats"; exit 1; }
+
+echo "cluster smoke OK (incl. replica failover)"
